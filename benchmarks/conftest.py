@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures: run-once semantics and result files."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (simulations are
+    deterministic; repeating them only repeats identical work)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run
+
+
+@pytest.fixture
+def save_result():
+    """Write a rendered table to results/<name>.txt and echo it."""
+
+    def save(name: str, text: str):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return save

@@ -1,0 +1,72 @@
+"""Ablations for Section 3.3's prose findings (see
+repro.experiments.ablations for the design rationale of each)."""
+
+from repro.experiments import (ablate_diff_scatter, ablate_eager_wn,
+                               ablate_hol_blocking, ablate_post_queue,
+                               render_ablation)
+
+
+def test_hol_blocking_ablation(once, save_result):
+    """NI locks dodge the delivery FIFO: under the same eager
+    invalidation traffic, lock time collapses only with NIL."""
+    rows = once(ablate_hol_blocking)
+    save_result("ablation_hol",
+                render_ablation(rows, "Ablation: lock head-of-line blocking "
+                                      "(Water-nsquared)"))
+    by_name = {r["protocol"]: r for r in rows}
+    # DW's eager traffic makes lock time worse than Base...
+    assert by_name["DW"]["lock_ms"] > by_name["Base"]["lock_ms"]
+    # ...and firmware locks cut it far below both.
+    assert by_name["GeNIMA"]["lock_ms"] < 0.6 * by_name["DW"]["lock_ms"]
+
+
+def test_post_queue_ablation(once, save_result):
+    """The direct-diff flood is relieved by a faster NI message path
+    (the paper's remedy (iii), which recovered Barnes-spatial's
+    speedup), while post-queue depth alone has a smaller effect."""
+    rows = once(ablate_post_queue)
+    save_result("ablation_post_queue",
+                render_ablation(rows, "Ablation: NI speed and post-queue "
+                                      "depth under direct diffs "
+                                      "(Barnes-spatial)"))
+    slow = [r for r in rows if r["ni_proc_us"] == 5.0]
+    fast = [r for r in rows if r["ni_proc_us"] == 2.0]
+    # a faster NI message path recovers a large part of the loss
+    assert max(f["speedup"] for f in fast) \
+        > 1.15 * max(s["speedup"] for s in slow)
+    # queue depth alone moves the result much less than NI speed
+    depth_effect = (max(s["speedup"] for s in slow)
+                    - min(s["speedup"] for s in slow))
+    speed_effect = (max(f["speedup"] for f in fast)
+                    - min(s["speedup"] for s in slow))
+    assert speed_effect > 2 * max(depth_effect, 1e-9)
+
+
+def test_diff_scatter_ablation(once, save_result):
+    """Direct diffs win for contiguous updates and lose as in-page
+    scatter grows; packed diffs are insensitive to scatter."""
+    rows = once(ablate_diff_scatter)
+    save_result("ablation_scatter",
+                render_ablation(rows, "Ablation: packed vs direct diffs "
+                                      "vs write scatter"))
+    contiguous = rows[0]
+    scattered = rows[-1]
+    # direct diffs degrade with scatter
+    assert scattered["direct_speedup"] < contiguous["direct_speedup"]
+    # message blow-up is roughly proportional to runs per page
+    assert scattered["direct_messages"] > 5 * contiguous["direct_messages"]
+    # at extreme scatter the packed scheme wins
+    assert scattered["packed_speedup"] > scattered["direct_speedup"]
+
+
+def test_eager_wn_ablation(once, save_result):
+    """Eager write-notice broadcast multiplies small-message counts
+    relative to Base's piggybacking."""
+    rows = once(ablate_eager_wn)
+    save_result("ablation_eager_wn",
+                render_ablation(rows, "Ablation: eager vs piggybacked "
+                                      "write notices (Water-nsquared)"))
+    by_name = {r["protocol"]: r for r in rows}
+    assert by_name["Base"]["wn_messages"] == 0
+    assert by_name["DW"]["wn_messages"] > 100
+    assert by_name["DW"]["messages"] > 1.5 * by_name["Base"]["messages"]

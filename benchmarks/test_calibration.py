@@ -1,0 +1,24 @@
+"""Section 3.1 calibration: the simulated communication layer must hit
+the paper's stated microbenchmark numbers (within tolerance bands)."""
+
+from repro.experiments import (measure_comm_layer, measure_page_fetch,
+                               render_calibration)
+
+
+def test_calibration_microbenchmarks(once, save_result):
+    comm = once(measure_comm_layer)
+    fetch = measure_page_fetch()
+    save_result("calibration", render_calibration(comm, fetch))
+
+    # ~2 us async post overhead
+    assert 1.0 <= comm["post_overhead_us"] <= 4.0
+    # ~18 us one-way one-word latency
+    assert 12.0 <= comm["one_word_latency_us"] <= 24.0
+    # ~95 MB/s maximum bandwidth
+    assert 75.0 <= comm["bandwidth_mbps"] <= 125.0
+    # ~110 us 4 KB page fetch with remote fetch
+    assert 85.0 <= fetch["rf_page_fetch_us"] <= 150.0
+    # ~200 us through the interrupt path
+    assert 160.0 <= fetch["base_page_fetch_us"] <= 290.0
+    # and the headline relation: RF fetches are much cheaper
+    assert fetch["rf_page_fetch_us"] < 0.65 * fetch["base_page_fetch_us"]

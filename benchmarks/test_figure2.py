@@ -1,0 +1,37 @@
+"""Figure 2: speedups across the protocol ladder per application.
+
+Shapes to reproduce (Section 3.3):
+* DW alone hurts Water-nsquared (eager invalidation traffic delays
+  lock requests in the shared delivery FIFO);
+* remote fetch helps every application;
+* direct diffs are a large loss for Barnes-spatial (scattered diffs);
+* full GeNIMA beats Base everywhere except Barnes-spatial.
+"""
+
+from repro.experiments import compute_figure2, render_figure2
+
+
+def test_figure2(once, save_result):
+    data = once(compute_figure2)
+    save_result("figure2", render_figure2(data))
+
+    # Water-nsquared regresses under DW and recovers only with NIL.
+    wns = data["Water-nsquared"]
+    assert wns["DW"] < wns["Base"]
+    assert wns["GeNIMA"] > wns["Base"]
+    assert wns["GeNIMA"] > wns["DW+RF+DD"]
+
+    # Remote fetch improves on DW for every application.
+    for app, vals in data.items():
+        assert vals["DW+RF"] >= vals["DW"] * 0.98, app
+
+    # The Barnes-spatial direct-diff pathology.
+    bsp = data["Barnes-spatial"]
+    assert bsp["DW+RF+DD"] < 0.8 * bsp["DW+RF"]
+    assert bsp["GeNIMA"] < bsp["Base"]  # the paper's one regression
+
+    # Everywhere else GeNIMA wins over Base.
+    for app, vals in data.items():
+        if app == "Barnes-spatial":
+            continue
+        assert vals["GeNIMA"] > vals["Base"], app

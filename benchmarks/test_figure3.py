@@ -1,0 +1,42 @@
+"""Figure 3: normalized execution-time breakdowns, all apps x protocols.
+
+Shapes to reproduce: compute time is protocol-invariant; lock time
+dominates Water-nsquared and Barnes-original under Base; GeNIMA's
+stacked bar is shorter than Base's for every app but Barnes-spatial;
+remote fetch shrinks the data segment.
+"""
+
+from repro.experiments import compute_figure3, render_figure3
+from repro.sim import BUCKETS
+
+
+def test_figure3(once, save_result):
+    data = once(compute_figure3)
+    save_result("figure3", render_figure3(data))
+
+    for app, per_protocol in data.items():
+        base = per_protocol["Base"]
+        genima = per_protocol["GeNIMA"]
+        # fractions are sane
+        for name, frac in per_protocol.items():
+            for bucket in BUCKETS:
+                assert frac[bucket] >= 0.0, (app, name, bucket)
+        # Base normalizes to 1.0 by construction
+        assert abs(sum(base.values()) - 1.0) < 0.02, app
+        # compute is protocol-invariant
+        assert abs(base["compute"] - genima["compute"]) < 0.02, app
+        # GeNIMA's bar is shorter everywhere except Barnes-spatial
+        if app != "Barnes-spatial":
+            assert sum(genima.values()) < 1.02, app
+
+    # lock-dominated applications under Base
+    for app in ("Water-nsquared", "Barnes-original"):
+        base = data[app]["Base"]
+        assert base["lock"] == max(base[b] for b in BUCKETS), app
+        # and NIL cuts that segment substantially
+        assert data[app]["GeNIMA"]["lock"] < 0.55 * base["lock"], app
+
+    # remote fetch shrinks the data segment for data-heavy apps
+    for app in ("FFT", "Raytrace", "Radix-local"):
+        assert (data[app]["DW+RF"]["data"]
+                < data[app]["DW"]["data"] * 0.95), app

@@ -1,0 +1,44 @@
+"""Sensitivity and scaling benchmarks.
+
+The interrupt-cost sweep is the mechanism check behind the whole
+paper: GeNIMA's advantage must come specifically from eliminating
+interrupt-driven asynchronous protocol processing.
+"""
+
+from repro.experiments import (interrupt_cost_sensitivity,
+                               render_scaling, render_sensitivity,
+                               scaling_study)
+
+APP = "Water-nsquared"
+
+
+def test_interrupt_cost_sensitivity(once, save_result):
+    rows = once(interrupt_cost_sensitivity, APP)
+    save_result("sensitivity_interrupt", render_sensitivity(rows, APP))
+
+    gains = [r["genima_gain_pct"] for r in rows]
+    base = [r["base_speedup"] for r in rows]
+    genima = [r["genima_speedup"] for r in rows]
+    # GeNIMA's advantage grows monotonically with interrupt cost...
+    assert all(a < b for a, b in zip(gains, gains[1:])), gains
+    # ...because Base degrades while GeNIMA is interrupt-free.
+    assert all(a >= b for a, b in zip(base, base[1:])), base
+    spread = max(genima) - min(genima)
+    assert spread < 0.1 * max(genima), genima
+    # with near-free interrupts, GeNIMA's extra traffic buys little
+    assert gains[0] < 25.0
+    # at high interrupt cost, the advantage is large
+    assert gains[-1] > 50.0
+
+
+def test_scaling_study(once, save_result):
+    rows = once(scaling_study, "Water-spatial")
+    save_result("scaling", render_scaling(rows, "Water-spatial"))
+
+    base = [r["base_speedup"] for r in rows]
+    genima = [r["genima_speedup"] for r in rows]
+    # both protocols scale with system size on a well-behaved app
+    assert all(a < b for a, b in zip(base, base[1:]))
+    assert all(a < b for a, b in zip(genima, genima[1:]))
+    # GeNIMA's edge appears once there is inter-node traffic (>1 node)
+    assert genima[-1] > base[-1] * 1.05

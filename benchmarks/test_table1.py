@@ -1,0 +1,33 @@
+"""Table 1: per-application improvement percentages.
+
+Columns (paper definitions): overall Base->GeNIMA, data-wait DW->DW+RF
+(and DW->GeNIMA in parentheses), lock DW+RF+DD->GeNIMA.
+
+Shapes to reproduce: data-wait improvements of up to ~45% (> 20% for
+most applications), lock-time improvements of up to ~60%, positive
+overall improvement for every application except Barnes-spatial.
+"""
+
+from repro.experiments import compute_table1, render_table1
+
+
+def test_table1(once, save_result):
+    data = once(compute_table1)
+    save_result("table1", render_table1(data))
+
+    for app, v in data.items():
+        assert v["uniproc_s"] > 0.05, app
+        if app != "Barnes-spatial":
+            assert v["overall_pct"] > 0, app
+
+    # data wait: a large cut for the fetch-heavy applications...
+    data_cuts = {app: v["data_pct"] for app, v in data.items()}
+    assert max(data_cuts.values()) > 30.0
+    # ...and > 15% for at least half the suite.
+    assert sum(1 for v in data_cuts.values() if v > 15.0) >= 5
+
+    # lock time: up to ~60% better with NI locks.
+    lock_cuts = {app: v["lock_pct"] for app, v in data.items()}
+    assert max(lock_cuts.values()) > 40.0
+    for app in ("Water-nsquared", "Barnes-original"):
+        assert lock_cuts[app] > 25.0, app

@@ -1,0 +1,43 @@
+"""Table 3: per-stage contention ratios for small packets, Base vs
+GeNIMA.
+
+Shape to reproduce (Section 4): GeNIMA *increases* small-message
+contention in the NI and network for almost all applications — and
+performs better anyway, because its operations are asynchronous and
+the processor only pays the small post overhead.
+"""
+
+import statistics
+
+from repro.experiments import compute_table34, render_table34
+
+
+def test_table3_small_messages(once, save_result):
+    data = once(compute_table34)
+    save_result("table3", render_table34(data, "small"))
+
+    stages = ("source", "lanai", "net", "dest")
+    higher = 0
+    comparisons = 0
+    for app, v in data.items():
+        base = v["small"]["Base"]
+        genima = v["small"]["GeNIMA"]
+        for stage in stages:
+            if base[stage] and genima[stage]:
+                comparisons += 1
+                if genima[stage] >= base[stage] * 0.95:
+                    higher += 1
+        # ratios are at least ~1 (time can't beat uncontended)
+        for system in ("Base", "GeNIMA"):
+            for stage in stages:
+                assert v["small"][system][stage] > 0.8, (app, system, stage)
+
+    # GeNIMA shows contention at least as high for most cells.
+    assert comparisons > 0
+    assert higher / comparisons >= 0.5
+
+    # mean small-message contention under GeNIMA is clearly above 1.
+    genima_means = [statistics.mean(v["small"]["GeNIMA"][s]
+                                    for s in stages)
+                    for v in data.values()]
+    assert statistics.mean(genima_means) > 1.2

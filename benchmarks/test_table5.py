@@ -1,0 +1,29 @@
+"""Table 5: 32-processor speedups (8 nodes x 4-way), GeNIMA vs Origin.
+
+Shape to reproduce: many applications continue to scale reasonably to
+32 processors under GeNIMA, but the hardware machine stays ahead and
+the badly-behaved applications (Radix, Barnes-original) stay bad.
+"""
+
+from repro.experiments import compute_figure4, compute_table5, render_table5
+
+
+def test_table5_32_processors(once, save_result):
+    data = once(compute_table5)
+    save_result("table5", render_table5(data))
+
+    for app, v in data.items():
+        assert v["SVM"] > 0.0, app
+        assert v["Origin"] > v["SVM"] * 0.8, app  # hardware (almost) ahead
+
+    # several applications scale reasonably at 32 processors
+    assert sum(1 for v in data.values() if v["SVM"] > 6.0) >= 3
+    # the poor performers remain poor
+    assert data["Radix-local"]["SVM"] < 4.0
+    assert data["Barnes-original"]["SVM"] < 6.0
+
+    # scaling 16 -> 32 helps at least some of the well-behaved apps
+    sixteen = compute_figure4()
+    improved = sum(1 for app in data
+                   if data[app]["SVM"] > sixteen[app]["GeNIMA"] * 1.05)
+    assert improved >= 3, improved

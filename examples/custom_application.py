@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Write your own application against the public API.
+
+A small producer/consumer pipeline: stage 0 processes chunks and
+releases a flag per chunk; stage 1 consumes them.  The same code runs
+on the SVM cluster (any protocol), the hardware-DSM yardstick and a
+single processor.
+
+    python examples/custom_application.py
+"""
+
+from repro import BASE, GENIMA, run_hwdsm, run_sequential, run_svm, speedup
+from repro.apps import Application, pages_for_bytes, register
+
+
+class Pipeline(Application):
+    """Half the processes produce, half consume, through shared pages."""
+
+    name = "Pipeline"
+    bus_intensity = 0.2
+
+    def __init__(self, chunks: int = 64, chunk_kb: int = 16):
+        self.chunks = chunks
+        self.chunk_pages = pages_for_bytes(chunk_kb << 10)
+
+    def setup(self, backend):
+        total = self.chunks * self.chunk_pages
+        return {"buf": backend.allocate("pipe.buf", total,
+                                        home_policy="blocked")}
+
+    def chunk_pages_of(self, chunk):
+        start = chunk * self.chunk_pages
+        return range(start, start + self.chunk_pages)
+
+    def process(self, ctx, regions):
+        buf = regions["buf"]
+        half = max(ctx.nprocs // 2, 1)
+        if ctx.rank < half:                      # producer
+            for chunk in range(ctx.rank, self.chunks, half):
+                yield from ctx.compute(400.0)
+                yield from ctx.write(buf, self.chunk_pages_of(chunk),
+                                     runs_per_page=1)
+                yield from ctx.release_flag(chunk)
+        else:                                     # consumer
+            me = ctx.rank - half
+            consumers = ctx.nprocs - half
+            for chunk in range(me, self.chunks, consumers):
+                yield from ctx.acquire_flag(chunk)
+                yield from ctx.read(buf, self.chunk_pages_of(chunk))
+                yield from ctx.compute(400.0)
+        yield from ctx.barrier()
+
+
+def main():
+    seq = run_sequential(Pipeline())
+    print(f"sequential: {seq.time_us / 1000:.1f} ms")
+    for label, run in (
+        ("SVM / Base", lambda: run_svm(Pipeline(), BASE)),
+        ("SVM / GeNIMA", lambda: run_svm(Pipeline(), GENIMA)),
+        ("hardware DSM", lambda: run_hwdsm(Pipeline())),
+    ):
+        result = run()
+        extra = ""
+        if result.stats:
+            extra = (f"  (interrupts={result.stats['interrupts']}, "
+                     f"messages={result.stats['messages']})")
+        print(f"{label:14s} speedup {speedup(seq, result):5.2f}{extra}")
+
+
+if __name__ == "__main__":
+    main()

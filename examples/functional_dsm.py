@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The byte-accurate data plane: real twins, diffs and home copies.
+
+The performance simulation carries abstract diff shapes; this example
+uses the *functional* counterpart (repro.svm.datastore.ConcreteStore)
+to show the multiple-writer LRC machinery working on actual bytes —
+two nodes write disjoint parts of the same page, both diffs land at
+the home, and a third node fetches the merged result.
+
+    python examples/functional_dsm.py
+"""
+
+from repro.hw import MachineConfig
+from repro.svm import PageDirectory
+from repro.svm.datastore import ConcreteStore
+
+
+def main():
+    directory = PageDirectory(MachineConfig())
+    region = directory.allocate("matrix", n_pages=4, concrete=True)
+    store = ConcreteStore(region)
+
+    # Node 0 and node 1 both write page 0 (the multiple-writer case
+    # twinning and diffing exist to solve).
+    store.write(node=0, index=0, offset=0, data=b"node0 owns the header.. ")
+    store.write(node=1, index=0, offset=2048,
+                data=b"node1 owns the second half. ")
+    print("node 0 twinned page 0:", store.is_twinned(0, 0))
+    print("node 1 twinned page 0:", store.is_twinned(1, 0))
+    print("home copy before any flush:",
+          bytes(store.home_copy(0)[:24]), b"...")
+
+    # At their releases, each writer diffs against its twin and sends
+    # the modified runs to the home.
+    diff0 = store.flush(0, 0)
+    diff1 = store.flush(1, 0)
+    print(f"\nnode 0 flushed {len(diff0)} run(s): "
+          f"{[(off, len(d)) for off, d in diff0]}")
+    print(f"node 1 flushed {len(diff1)} run(s): "
+          f"{[(off, len(d)) for off, d in diff1]}")
+
+    # A third node — after applying the writers' notices — fetches the
+    # page from the home and sees both updates merged.
+    store.invalidate(2, 0) if (2, 0) in store._copies else None
+    merged = store.fetch(node=2, index=0)
+    print("\nnode 2 fetches the page and reads:")
+    print("  offset    0:", bytes(merged[0:24]))
+    print("  offset 2048:", bytes(merged[2048:2076]))
+    assert bytes(merged[0:24]) == b"node0 owns the header.. "
+    assert bytes(merged[2048:2076]) == b"node1 owns the second half. "
+    print("\nmultiple-writer merge verified: "
+          f"{store.flushes} flushes, {store.bytes_flushed} diff bytes")
+
+
+if __name__ == "__main__":
+    main()

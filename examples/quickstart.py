@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Quickstart: run one application on the Base protocol and on GeNIMA.
+
+The one-figure version of the paper: the same program, the same
+cluster, with and without NI support for asynchronous protocol
+processing.
+
+    python examples/quickstart.py
+"""
+
+from repro import BASE, GENIMA, run_sequential, run_svm, speedup
+from repro.apps import Ocean
+
+
+def main():
+    app = Ocean(n=258, sweeps=20)   # small grid so this runs in seconds
+
+    seq = run_sequential(Ocean(n=258, sweeps=20))
+    print(f"sequential time: {seq.time_us / 1000:.1f} ms")
+
+    for features in (BASE, GENIMA):
+        result = run_svm(Ocean(n=258, sweeps=20), features)
+        mean = result.mean_breakdown
+        print(f"\n{features.name} protocol "
+              f"({result.nprocs} processors, 4-way SMP nodes):")
+        print(f"  speedup           : {speedup(seq, result):.2f}")
+        print(f"  interrupts taken  : {result.stats['interrupts']}")
+        print(f"  messages sent     : {result.stats['messages']}")
+        print(f"  time breakdown    : "
+              f"compute {mean.compute / 1000:.1f} ms, "
+              f"data {mean.data / 1000:.1f} ms, "
+              f"lock {mean.lock / 1000:.1f} ms, "
+              f"barrier {mean.barrier / 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Observe a run from the inside: protocol tracing + the NI monitor.
+
+Attaches a Tracer to the protocol (faults, diffs, locks, barriers) and
+reads the firmware performance monitor the way Section 4 of the paper
+does — per-stage contention ratios for small and large packets.
+
+    python examples/tracing_and_monitoring.py
+"""
+
+from repro.hw import MachineConfig
+from repro.sim import Tracer
+from repro.svm import GENIMA
+from repro.apps import Ocean
+from repro.runtime import SVMBackend, run_on_backend
+
+
+def main():
+    tracer = Tracer(categories={"lock", "barrier", "diff", "fetch"})
+    backend = SVMBackend(MachineConfig(), GENIMA, tracer=tracer)
+    result = run_on_backend(Ocean(n=258, sweeps=8), backend,
+                            system="GeNIMA")
+    print(f"run finished: {result.time_us / 1000:.1f} ms simulated\n")
+
+    print("trace event counts:")
+    for category, count in sorted(tracer.counts().items()):
+        print(f"  {category:18s} {count}")
+
+    print("\nlast few protocol events:")
+    print(tracer.to_text(limit=6))
+
+    print("\nNI monitor, per-stage contention ratios "
+          "(avg time / uncontended time):")
+    for size_class in ("small", "large"):
+        ratios = backend.monitor.ratios(size_class)
+        print(f"  {size_class:5s}: source={ratios.source:.2f} "
+              f"lanai={ratios.lanai:.2f} net={ratios.net:.2f} "
+              f"dest={ratios.dest:.2f}  ({ratios.packets} packets)")
+    print(f"\npackets by kind: {backend.monitor.packets_by_kind}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Calibration sweep: shape metrics for all apps under the protocol ladder.
+
+Usage: python scripts/calibrate.py [app-substring ...]
+"""
+import sys
+import time
+
+from repro import (run_svm, run_sequential, run_hwdsm, speedup,
+                   PROTOCOL_LADDER)
+from repro.apps import APP_REGISTRY, PAPER_APPS
+
+
+def main(filters):
+    names = [n for n in PAPER_APPS
+             if not filters or any(f.lower() in n.lower() for f in filters)]
+    for name in names:
+        cls = APP_REGISTRY[name]
+        t0 = time.time()
+        seq = run_sequential(cls())
+        hw = run_hwdsm(cls())
+        line = [f"{name:16s} seq={seq.time_us/1000:8.1f}ms "
+                f"Origin={speedup(seq, hw):5.2f}"]
+        rows = []
+        for feats in PROTOCOL_LADDER:
+            r = run_svm(cls(), feats)
+            b = r.mean_breakdown
+            rows.append(
+                f"  {feats.name:9s} spd={speedup(seq, r):5.2f} "
+                f"cmp={b.compute/1000:7.1f} dat={b.data/1000:7.1f} "
+                f"lck={b.lock/1000:7.1f} a/r={b.acqrel/1000:6.1f} "
+                f"bar={b.barrier/1000:7.1f} intr={r.stats['interrupts']:6d} "
+                f"msg={r.stats['messages']:6d} retry={r.stats['fetch_retries']:4d}")
+        print(line[0], f"[{time.time()-t0:.1f}s]")
+        print("\n".join(rows))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,53 @@
+"""GeNIMA reproduction.
+
+A full-stack simulation of "Using Network Interface Support to Avoid
+Asynchronous Protocol Processing in Shared Virtual Memory Systems"
+(Bilas, Liao & Singh, ISCA 1999): the VMMC communication layer with
+remote deposit / remote fetch / NI locks, the HLRC-SMP base protocol
+and the GeNIMA protocol ladder, the SPLASH-2 application models, and a
+hardware-DSM yardstick -- everything needed to regenerate the paper's
+figures and tables.
+
+Quick start::
+
+    from repro import run_svm, run_sequential, speedup, GENIMA
+    from repro.apps import FFT
+
+    app = FFT(log2_n=16)
+    seq = run_sequential(app)
+    par = run_svm(app, GENIMA)
+    print(speedup(seq, par))
+"""
+
+from .hw import PAPER_16P, PAPER_32P, Machine, MachineConfig
+from .hwdsm import HWDSMBackend, HWDSMConfig
+from .runtime import (RunResult, run_hwdsm, run_on_backend, run_sequential,
+                      run_svm, speedup)
+from .svm import (BASE, DW, DW_RF, DW_RF_DD, GENIMA, PROTOCOL_LADDER,
+                  HLRCProtocol, ProtocolFeatures)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "PAPER_16P",
+    "PAPER_32P",
+    "HWDSMBackend",
+    "HWDSMConfig",
+    "RunResult",
+    "run_hwdsm",
+    "run_on_backend",
+    "run_sequential",
+    "run_svm",
+    "speedup",
+    "BASE",
+    "DW",
+    "DW_RF",
+    "DW_RF_DD",
+    "GENIMA",
+    "PROTOCOL_LADDER",
+    "HLRCProtocol",
+    "ProtocolFeatures",
+    "__version__",
+]

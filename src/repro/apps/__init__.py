@@ -1,0 +1,42 @@
+"""The ten SPLASH-2 application models of the paper's evaluation."""
+
+from .barnes import BarnesOriginal, BarnesSpatial
+from .base import APP_REGISTRY, Application, pages_for_bytes, register
+from .fft import FFT
+from .lu import LU
+from .ocean import Ocean
+from .radix import Radix
+from .tasks import Raytrace, Volrend
+from .water import WaterNsquared, WaterSpatial
+
+#: Table 1 order.
+PAPER_APPS = [
+    "FFT",
+    "LU-contiguous",
+    "Ocean-rowwise",
+    "Water-nsquared",
+    "Water-spatial",
+    "Radix-local",
+    "Volrend-stealing",
+    "Raytrace",
+    "Barnes-original",
+    "Barnes-spatial",
+]
+
+__all__ = [
+    "APP_REGISTRY",
+    "Application",
+    "pages_for_bytes",
+    "register",
+    "PAPER_APPS",
+    "FFT",
+    "LU",
+    "Ocean",
+    "WaterNsquared",
+    "WaterSpatial",
+    "Radix",
+    "Volrend",
+    "Raytrace",
+    "BarnesOriginal",
+    "BarnesSpatial",
+]

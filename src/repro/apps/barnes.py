@@ -1,0 +1,163 @@
+"""Barnes-Hut n-body: original and restructured (spatial) versions.
+
+**Barnes-original** (SPLASH-2): processes cooperatively build a shared
+octree, locking cells as they insert bodies — very high lock frequency
+with contention — then compute forces by walking the tree, touching
+many scattered tree pages at small granularity (the paper: "scattered
+accesses to remote addresses at very small granularity ... high
+fragmentation overheads due to the page granularity of SVM").
+
+**Barnes-spatial** (restructured): spatial partitioning removes the
+tree-build locks, but each process's particle updates are *highly
+scattered within pages* whose homes follow the initial layout, not the
+dynamic spatial ownership.  Under direct diffs this multiplies the
+number of diff messages by ~30x, fills the NI post queue and makes the
+application much slower — the paper's one regression under GeNIMA's DD
+mechanism (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from .base import Application, pages_for_bytes, register
+
+__all__ = ["BarnesOriginal", "BarnesSpatial"]
+
+BODY_BYTES = 108     # SPLASH-2 body record
+CELL_BYTES = 88
+
+
+@register
+class BarnesOriginal(Application):
+    name = "Barnes-original"
+    bus_intensity = 0.3
+    paper_params = {"bodies": 32768, "steps": 2}
+
+    def __init__(self, bodies: int = 4096, steps: int = 2,
+                 compute_per_body_log: float = 3.5,
+                 cell_locks: int = 128):
+        self.bodies = bodies
+        self.steps = steps
+        #: us per body per log2(n) tree-walk level.
+        self.compute_per_body_log = compute_per_body_log
+        self.cell_locks = cell_locks
+
+    def body_pages(self) -> int:
+        return pages_for_bytes(self.bodies * BODY_BYTES)
+
+    def tree_pages(self) -> int:
+        return pages_for_bytes(self.bodies * CELL_BYTES // 4)
+
+    def setup(self, backend):
+        return {
+            "bodies": backend.allocate("barnes.bodies", self.body_pages(),
+                                       home_policy="blocked"),
+            "tree": backend.allocate("barnes.tree", self.tree_pages(),
+                                     home_policy="round_robin"),
+        }
+
+    def my_body_pages(self, rank: int, nprocs: int):
+        total = self.body_pages()
+        per = max(total // nprocs, 1)
+        start = rank * per
+        stop = total if rank == nprocs - 1 else min(start + per, total)
+        return range(start, stop)
+
+    def init_process(self, ctx, regions):
+        yield from ctx.write(regions["bodies"],
+                             self.my_body_pages(ctx.rank, ctx.nprocs))
+
+    def process(self, ctx, regions):
+        bodies_r, tree_r = regions["bodies"], regions["tree"]
+        n, p, rank = self.bodies, ctx.nprocs, ctx.rank
+        start, stop = ctx.my_slice(n)
+        mine = stop - start
+        log_n = max(n.bit_length() - 1, 1)
+        tree_total = self.tree_pages()
+        for _step in range(self.steps):
+            # 1. cooperative tree build: lock a cell, splice the body in.
+            #    Inserts from all processes hit a shared, contended set
+            #    of cell locks and dirty scattered tree pages.
+            for i in range(0, mine, 4):  # every insert of 4 bodies
+                body = start + i
+                cell = (body * 2654435761) % self.cell_locks
+                page = (body * 2654435761) % tree_total
+                yield from ctx.lock(4000 + cell)
+                yield from ctx.read(tree_r, [page])
+                yield from ctx.write(tree_r, [page], runs_per_page=2,
+                                     bytes_per_page=176)
+                yield from ctx.unlock(4000 + cell)
+                yield from ctx.compute(2.0)
+            yield from ctx.barrier()
+            # 2. force computation: walk the tree — scattered reads of
+            #    many tree pages (page-granularity fragmentation), then
+            #    heavy compute.
+            walk = sorted({(rank * 31 + k * 7) % tree_total
+                           for k in range(tree_total // 2)})
+            yield from ctx.read(tree_r, walk)
+            yield from ctx.compute(self.compute_per_body_log * mine * log_n)
+            yield from ctx.barrier()
+            # 3. update own bodies (local homes).
+            yield from ctx.write(bodies_r,
+                                 self.my_body_pages(rank, p),
+                                 runs_per_page=4, bytes_per_page=2048)
+            yield from ctx.barrier()
+
+
+@register
+class BarnesSpatial(Application):
+    name = "Barnes-spatial"
+    bus_intensity = 0.3
+    paper_params = {"bodies": 131072, "steps": 2}
+
+    def __init__(self, bodies: int = 8192, steps: int = 2,
+                 compute_per_body_log: float = 2.0,
+                 scatter_runs: int = 30):
+        self.bodies = bodies
+        self.steps = steps
+        self.compute_per_body_log = compute_per_body_log
+        #: modified runs per dirtied page: the restructured version's
+        #: updates are highly scattered within pages (Section 3.3's
+        #: ~30x direct-diff message blow-up).
+        self.scatter_runs = scatter_runs
+
+    def body_pages(self) -> int:
+        return pages_for_bytes(self.bodies * BODY_BYTES)
+
+    def setup(self, backend):
+        return {
+            # homes follow the *initial* body layout (round robin);
+            # dynamic spatial ownership writes other nodes' pages.
+            "bodies": backend.allocate("barness.bodies", self.body_pages(),
+                                       home_policy="round_robin"),
+        }
+
+    def spatial_pages(self, rank: int, nprocs: int):
+        """Pages the rank's spatial box touches: an interleaved subset."""
+        total = self.body_pages()
+        per = max(total // nprocs, 1)
+        return [(rank + i * nprocs) % total for i in range(per)]
+
+    def init_process(self, ctx, regions):
+        yield from ctx.write(regions["bodies"],
+                             self.spatial_pages(ctx.rank, ctx.nprocs))
+
+    def process(self, ctx, regions):
+        bodies_r = regions["bodies"]
+        n, p, rank = self.bodies, ctx.nprocs, ctx.rank
+        start, stop = ctx.my_slice(n)
+        mine = stop - start
+        log_n = max(n.bit_length() - 1, 1)
+        pages = self.spatial_pages(rank, p)
+        neighbour = self.spatial_pages((rank + 1) % p, p)
+        for _step in range(self.steps):
+            # force computation over the spatial box + neighbour halo
+            yield from ctx.read(bodies_r, pages)
+            yield from ctx.read(bodies_r, neighbour[:len(neighbour) // 2])
+            yield from ctx.compute(self.compute_per_body_log * mine * log_n)
+            yield from ctx.barrier()
+            # scattered particle updates into remotely-homed pages: the
+            # direct-diff message explosion.
+            yield from ctx.write(bodies_r, pages,
+                                 runs_per_page=self.scatter_runs,
+                                 bytes_per_page=self.scatter_runs * 44)
+            yield from ctx.barrier()

@@ -1,0 +1,76 @@
+"""Application framework.
+
+Each application models the sharing pattern of one SPLASH-2 program
+(original or restructured, Section 3.2): the real parallel
+decomposition (who owns which pages, who reads whose data, which locks
+protect what) driving page-granularity reads/writes, locks, flags and
+barriers, with computation time derived from the algorithm's operation
+counts.
+
+Problem sizes: ``paper_params`` matches Table 1; the default
+constructor uses a scaled-down size (same sharing structure, shorter
+simulations) — pass ``**Application.paper_params`` to reproduce the
+paper's sizes.  Initialization/cold-start is excluded from timing and
+breakdowns, following the SPLASH-2 guidelines the paper cites.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict
+
+from ..runtime.context import ParallelContext
+
+__all__ = ["Application", "pages_for_bytes", "APP_REGISTRY", "register"]
+
+
+def pages_for_bytes(n_bytes: int, page_size: int = 4096) -> int:
+    """Shared pages needed for ``n_bytes`` of data (at least 1)."""
+    return max((n_bytes + page_size - 1) // page_size, 1)
+
+
+class Application(abc.ABC):
+    """One benchmark program."""
+
+    #: short name, matching the paper's tables.
+    name: str = "app"
+    #: how memory-bandwidth-bound compute phases are (0..1) — drives
+    #: SMP bus contention (Section 3.4: FFT and Ocean are high).
+    bus_intensity: float = 0.0
+    #: the paper's problem size (Table 1).
+    paper_params: Dict[str, int] = {}
+
+    @abc.abstractmethod
+    def setup(self, backend) -> Dict[str, object]:
+        """Allocate shared regions on ``backend``; returns them by name."""
+
+    def init_process(self, ctx: ParallelContext, regions):
+        """Cold-start: touch this rank's data (excluded from timing)."""
+        return
+        yield  # pragma: no cover
+
+    @abc.abstractmethod
+    def process(self, ctx: ParallelContext, regions):
+        """The timed parallel computation for ``ctx.rank``."""
+
+    def context(self, backend, rank: int, nprocs: int) -> ParallelContext:
+        return ParallelContext(backend, rank, nprocs,
+                               bus_intensity=self.bus_intensity)
+
+    def __repr__(self) -> str:
+        params = {k: v for k, v in vars(self).items()
+                  if not k.startswith("_")}
+        return f"{type(self).__name__}({params})"
+
+
+#: name -> Application subclass, for experiment drivers and CLIs.
+APP_REGISTRY: Dict[str, type] = {}
+
+
+def register(cls):
+    """Class decorator: add an Application to the registry."""
+    if cls.name in APP_REGISTRY:
+        raise ValueError(f"duplicate app name {cls.name!r}")
+    APP_REGISTRY[cls.name] = cls
+    return cls

@@ -1,0 +1,96 @@
+"""Ocean-rowwise (SPLASH-2, restructured): red-black grid solver.
+
+Near-neighbour sharing: each process owns a contiguous band of grid
+rows (with 4-way SMP nodes this rowwise version is practically
+equivalent to Ocean-contiguous, as the paper notes).  Every sweep reads
+the boundary rows of the two neighbouring processes, computes a
+stencil update over its band, and synchronizes with barriers; global
+error reduction takes one small lock per sweep.  High memory-bus
+intensity, modest communication — a well-behaving SVM application.
+"""
+
+from __future__ import annotations
+
+from .base import Application, pages_for_bytes, register
+
+__all__ = ["Ocean"]
+
+DOUBLE = 8
+
+
+@register
+class Ocean(Application):
+    name = "Ocean-rowwise"
+    bus_intensity = 0.75
+    paper_params = {"n": 514, "sweeps": 100}
+    #: us per grid point per sweep (5-point stencil + multigrid factor).
+    compute_per_point = 0.12
+
+    def __init__(self, n: int = 514, sweeps: int = 40):
+        if n < 34:
+            raise ValueError("grid too small")
+        self.n = n
+        self.sweeps = sweeps
+
+    def row_bytes(self) -> int:
+        return self.n * DOUBLE
+
+    def total_pages(self) -> int:
+        return pages_for_bytes(self.n * self.n * DOUBLE)
+
+    def setup(self, backend):
+        return {
+            "grid": backend.allocate("ocean.grid", self.total_pages(),
+                                     home_policy="blocked"),
+            "err": backend.allocate("ocean.err", 1, home_policy="node:0"),
+        }
+
+    # -- layout -----------------------------------------------------------
+
+    def band_pages(self, rank: int, nprocs: int):
+        per = self.total_pages() // nprocs
+        start = rank * per
+        stop = self.total_pages() if rank == nprocs - 1 else start + per
+        return range(start, stop)
+
+    def boundary_pages(self, rank: int, nprocs: int):
+        """Pages holding the neighbour rows this process reads."""
+        pages_per_boundary = pages_for_bytes(2 * self.row_bytes())
+        out = []
+        total = self.total_pages()
+        per = total // nprocs
+        if rank > 0:
+            # bottom rows of the band above
+            top = rank * per
+            out.extend(range(max(top - pages_per_boundary, 0), top))
+        if rank < nprocs - 1:
+            bottom = (rank + 1) * per
+            out.extend(range(bottom,
+                             min(bottom + pages_per_boundary, total)))
+        return out
+
+    # -- execution -----------------------------------------------------------
+
+    def init_process(self, ctx, regions):
+        yield from ctx.write(regions["grid"],
+                             self.band_pages(ctx.rank, ctx.nprocs))
+
+    def process(self, ctx, regions):
+        grid = regions["grid"]
+        err = regions["err"]
+        band = list(self.band_pages(ctx.rank, ctx.nprocs))
+        sweep_compute = (self.compute_per_point * self.n * self.n
+                         / ctx.nprocs)
+        for sweep in range(self.sweeps):
+            yield from ctx.read(grid, self.boundary_pages(ctx.rank,
+                                                          ctx.nprocs))
+            yield from ctx.compute(sweep_compute)
+            # write back our band (boundary rows become stale remotely)
+            yield from ctx.write(grid, band, runs_per_page=1)
+            # global error reduction under a small lock
+            if sweep % 8 == 0:
+                yield from ctx.lock(0)
+                yield from ctx.write(err, [0], runs_per_page=1,
+                                     bytes_per_page=8)
+                yield from ctx.unlock(0)
+            yield from ctx.barrier()

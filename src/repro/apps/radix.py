@@ -1,0 +1,118 @@
+"""Radix-local (restructured SPLASH-2 radix sort).
+
+The paper's pathological data mover: every pass builds local
+histograms, merges them, then permutes keys into *other processes'*
+home pages in an all-to-all scatter.  Even in the restructured "local"
+version (keys sorted locally first, so writes land in contiguous runs)
+the permutation writes touch hundreds of remotely-homed pages with
+false sharing, making barrier protocol time (94% of barrier time) and
+mprotect (52% of all SVM overhead) the dominant costs — Table 2's
+worst row — and keeping the speedup low on SVM.
+"""
+
+from __future__ import annotations
+
+from .base import Application, pages_for_bytes, register
+
+__all__ = ["Radix"]
+
+KEY_BYTES = 4
+
+
+@register
+class Radix(Application):
+    name = "Radix-local"
+    bus_intensity = 0.5
+    paper_params = {"keys": 1 << 22, "radix": 1024, "passes": 3}
+
+    def __init__(self, keys: int = 1 << 19, radix: int = 1024,
+                 passes: int = 3, compute_per_key: float = 0.25):
+        self.keys = keys
+        self.radix = radix
+        self.passes = passes
+        #: us per key per pass (count + local sort + copy).
+        self.compute_per_key = compute_per_key
+
+    def key_pages(self) -> int:
+        return pages_for_bytes(self.keys * KEY_BYTES)
+
+    def hist_pages(self) -> int:
+        return pages_for_bytes(self.radix * 8)
+
+    def setup(self, backend):
+        return {
+            "keys": backend.allocate("radix.keys", self.key_pages(),
+                                     home_policy="blocked"),
+            # the destination array is written all-to-all; its pages
+            # interleave across nodes (first-touch lands that way when
+            # every node writes everywhere), so invalidation runs
+            # fragment and mprotect cannot coalesce them.
+            "dest": backend.allocate("radix.dest", self.key_pages(),
+                                     home_policy="round_robin"),
+            # one histogram page set per process, homed with its owner
+            "hist": backend.allocate(
+                "radix.hist", self.hist_pages() * backend.nprocs,
+                home_policy="blocked"),
+        }
+
+    def my_key_pages(self, rank: int, nprocs: int):
+        total = self.key_pages()
+        per = max(total // nprocs, 1)
+        start = rank * per
+        stop = total if rank == nprocs - 1 else min(start + per, total)
+        return range(start, stop)
+
+    def scatter_pages(self, rank: int, nprocs: int):
+        """Destination pages this process writes during permutation.
+
+        Keys with each digit value go to a different contiguous region
+        of dest; a process's n/P keys split into ``radix`` chunks that
+        land all over the array — touching ~min(radix, pages) pages
+        spread across every other process's home range.
+        """
+        total = self.key_pages()
+        touched = min(self.radix, (total * 3) // 4)
+        # interleave writers: proc r skips every 4th page with a
+        # rank-dependent phase, so each node's invalidation set is
+        # fragmented (no long mprotect runs) and pages are shared by
+        # writers from several nodes (false sharing).
+        out = []
+        i = 0
+        while len(out) < touched:
+            if (i + rank) % 4 != 3:
+                out.append((rank + i) % total)
+            i += 1
+        return out
+
+    def init_process(self, ctx, regions):
+        yield from ctx.write(regions["keys"],
+                             self.my_key_pages(ctx.rank, ctx.nprocs))
+
+    def process(self, ctx, regions):
+        keys_r, dest_r = regions["keys"], regions["dest"]
+        hist_r = regions["hist"]
+        n, p, rank = self.keys, ctx.nprocs, ctx.rank
+        per_proc = n // p
+        hist_pp = self.hist_pages()
+        my_hist = range(rank * hist_pp, (rank + 1) * hist_pp)
+        for pass_no in range(self.passes):
+            src, dst = (keys_r, dest_r) if pass_no % 2 == 0 \
+                else (dest_r, keys_r)
+            # 1. local histogram over own keys (home-local reads after
+            #    the first pass settle via diffs at the home).
+            yield from ctx.read(src, self.my_key_pages(rank, p))
+            yield from ctx.compute(self.compute_per_key * per_proc * 0.4)
+            yield from ctx.write(hist_r, my_hist, runs_per_page=1)
+            yield from ctx.barrier()
+            # 2. read all histograms, compute global offsets.
+            yield from ctx.read(hist_r, range(hist_pp * p))
+            yield from ctx.compute(0.2 * self.radix)
+            yield from ctx.barrier()
+            # 3. permutation: locally sort, then scatter keys into the
+            #    destination's (mostly remote) home pages.
+            yield from ctx.compute(self.compute_per_key * per_proc * 0.6)
+            scatter = self.scatter_pages(rank, p)
+            bytes_per_page = max(per_proc * KEY_BYTES // len(scatter), 16)
+            yield from ctx.write(dst, scatter, runs_per_page=2,
+                                 bytes_per_page=min(bytes_per_page, 4096))
+            yield from ctx.barrier()

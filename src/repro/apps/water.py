@@ -1,0 +1,173 @@
+"""Water-nsquared and Water-spatial (SPLASH-2).
+
+**Water-nsquared** is the paper's fine-grained-locking stress case:
+after computing pairwise partial forces, every process adds its
+contributions into the shared force array under *per-molecule locks*.
+The resulting flood of lock transfers and eager invalidation traffic is
+what makes it perform worse under DW (lock requests stuck behind data
+in the NI delivery FIFO) and recover only with NI locks (Section 3.3).
+
+**Water-spatial** partitions molecules into a 3-D cell grid; each
+process owns a box of cells and only reads/updates boundary cells of
+its neighbours — far fewer locks, moderate data movement, one of the
+better-behaved SVM applications.
+
+The per-pair compute constant is calibrated so the lock/compute ratio
+at the default (scaled-down) molecule count matches the ratio at the
+paper's 4096-molecule size, preserving the phenomenon at lower
+simulation cost.
+"""
+
+from __future__ import annotations
+
+from .base import Application, pages_for_bytes, register
+
+__all__ = ["WaterNsquared", "WaterSpatial"]
+
+MOLECULE_BYTES = 680   # SPLASH-2 water molecule record
+MOL_PER_PAGE = 4096 // MOLECULE_BYTES  # 6
+
+
+@register
+class WaterNsquared(Application):
+    name = "Water-nsquared"
+    bus_intensity = 0.15
+    paper_params = {"molecules": 4096, "steps": 2, "compute_per_pair": 0.5}
+
+    def __init__(self, molecules: int = 1024, steps: int = 2,
+                 compute_per_pair: float = 2.0,
+                 compute_per_molecule: float = 8.0):
+        self.molecules = molecules
+        self.steps = steps
+        #: us per pairwise interaction (scaled up at small sizes to
+        #: keep lock/compute ratios at the paper's operating point).
+        self.compute_per_pair = compute_per_pair
+        self.compute_per_molecule = compute_per_molecule
+
+    def mol_page(self, mol: int) -> int:
+        return mol // MOL_PER_PAGE
+
+    def total_pages(self) -> int:
+        # one page per MOL_PER_PAGE molecules, so mol_page() is always
+        # in range even when records straddle the last page boundary.
+        return (self.molecules + MOL_PER_PAGE - 1) // MOL_PER_PAGE
+
+    def setup(self, backend):
+        return {
+            "mol": backend.allocate("water.mol", self.total_pages(),
+                                    home_policy="blocked"),
+            "forces": backend.allocate("water.forces", self.total_pages(),
+                                       home_policy="blocked"),
+        }
+
+    def init_process(self, ctx, regions):
+        start, stop = ctx.my_slice(self.molecules)
+        pages = sorted({self.mol_page(m) for m in range(start, stop)})
+        yield from ctx.write(regions["mol"], pages)
+        yield from ctx.write(regions["forces"], pages)
+
+    def process(self, ctx, regions):
+        n, p, rank = self.molecules, ctx.nprocs, ctx.rank
+        mol, forces = regions["mol"], regions["forces"]
+        start, stop = ctx.my_slice(n)
+        mine = stop - start
+        for _step in range(self.steps):
+            # predict: local molecule work
+            yield from ctx.compute(self.compute_per_molecule * mine)
+            yield from ctx.barrier()
+            # intermolecular forces: each process handles pairs
+            # (i, i+1..i+n/2) for its molecules; it reads the partner
+            # molecules' data (half the array, round robin).
+            partner_pages = sorted({
+                self.mol_page((start + k) % n)
+                for k in range(0, n // 2, MOL_PER_PAGE)})
+            yield from ctx.read(mol, partner_pages)
+            yield from ctx.compute(self.compute_per_pair * mine * n / 2)
+            # update partner forces under per-molecule locks: the
+            # fine-grained locking the paper highlights.
+            for k in range(0, n // 2, 2):
+                target = (start + k) % n
+                yield from ctx.lock(1000 + target)
+                yield from ctx.write(forces, [self.mol_page(target)],
+                                     runs_per_page=1, bytes_per_page=72)
+                yield from ctx.unlock(1000 + target)
+            yield from ctx.barrier()
+            # correct: local work, own forces
+            own_pages = sorted({self.mol_page(m)
+                                for m in range(start, stop)})
+            yield from ctx.read(forces, own_pages)
+            yield from ctx.compute(self.compute_per_molecule * mine)
+            yield from ctx.write(mol, own_pages, runs_per_page=2,
+                                 bytes_per_page=1024)
+            yield from ctx.barrier()
+
+
+@register
+class WaterSpatial(Application):
+    name = "Water-spatial"
+    bus_intensity = 0.15
+    paper_params = {"molecules": 32768, "steps": 2}
+
+    def __init__(self, molecules: int = 4096, steps: int = 4,
+                 compute_per_molecule: float = 20.0):
+        self.molecules = molecules
+        self.steps = steps
+        #: us per molecule per step (cell-list force computation).
+        self.compute_per_molecule = compute_per_molecule
+
+    def total_pages(self) -> int:
+        return pages_for_bytes(self.molecules * MOLECULE_BYTES)
+
+    def setup(self, backend):
+        return {
+            "mol": backend.allocate("waters.mol", self.total_pages(),
+                                    home_policy="blocked"),
+        }
+
+    def boundary_pages(self, rank: int, nprocs: int):
+        """Pages of the neighbouring processes' boundary cells."""
+        total = self.total_pages()
+        per = max(total // nprocs, 1)
+        width = max(per // 4, 1)  # boundary cells ~ (cells/proc)^(2/3)
+        out = []
+        if rank > 0:
+            top = rank * per
+            out.extend(range(max(top - width, 0), top))
+        if rank < nprocs - 1:
+            bottom = min((rank + 1) * per, total)
+            out.extend(range(bottom, min(bottom + width, total)))
+        return out
+
+    def my_pages(self, rank: int, nprocs: int):
+        total = self.total_pages()
+        per = max(total // nprocs, 1)
+        start = rank * per
+        stop = total if rank == nprocs - 1 else min(start + per, total)
+        return range(start, stop)
+
+    def init_process(self, ctx, regions):
+        yield from ctx.write(regions["mol"],
+                             self.my_pages(ctx.rank, ctx.nprocs))
+
+    def process(self, ctx, regions):
+        mol = regions["mol"]
+        start, stop = ctx.my_slice(self.molecules)
+        mine = stop - start
+        my_pages = list(self.my_pages(ctx.rank, ctx.nprocs))
+        for _step in range(self.steps):
+            # read neighbour boundary cells
+            boundary = self.boundary_pages(ctx.rank, ctx.nprocs)
+            yield from ctx.read(mol, boundary)
+            yield from ctx.compute(self.compute_per_molecule * mine)
+            # update own cells; boundary-cell updates take a lock each
+            yield from ctx.write(mol, my_pages, runs_per_page=2,
+                                 bytes_per_page=2048)
+            for page in boundary[:8]:
+                yield from ctx.lock(2000 + page)
+                yield from ctx.write(mol, [page], runs_per_page=1,
+                                     bytes_per_page=96)
+                yield from ctx.unlock(2000 + page)
+            yield from ctx.barrier()
+            # intra-molecular corrections, local
+            yield from ctx.compute(self.compute_per_molecule * mine * 0.3)
+            yield from ctx.barrier()

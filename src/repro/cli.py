@@ -1,0 +1,181 @@
+"""Command-line interface: run applications, protocols and experiments.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --app FFT --protocol GeNIMA
+    python -m repro run --app Water-nsquared --protocol Base --nodes 8
+    python -m repro ladder --app Ocean-rowwise
+    python -m repro figure 2
+    python -m repro table 1
+    python -m repro calibrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import PROTOCOL_LADDER, MachineConfig
+from .apps import APP_REGISTRY, PAPER_APPS
+from .runtime import run_hwdsm, run_sequential, run_svm, speedup
+from .svm import GENIMA_MC, GENIMA_PLUS, GENIMA_SG
+
+PROTOCOLS = {f.name: f for f in PROTOCOL_LADDER}
+PROTOCOLS.update({f.name: f for f in (GENIMA_SG, GENIMA_MC, GENIMA_PLUS)})
+
+
+def _cmd_list(_args) -> int:
+    print("applications:")
+    for name in PAPER_APPS:
+        cls = APP_REGISTRY[name]
+        print(f"  {name:18s} paper size: {cls.paper_params}")
+    print("\nprotocols:")
+    for name in PROTOCOLS:
+        print(f"  {name}")
+    return 0
+
+
+def _make_app(args):
+    cls = APP_REGISTRY[args.app]
+    return cls(**cls.paper_params) if args.paper_size else cls()
+
+
+def _cmd_run(args) -> int:
+    config = MachineConfig(nodes=args.nodes)
+    seq = run_sequential(_make_app(args), config=config)
+    if args.protocol == "Origin":
+        from .hwdsm import HWDSMConfig
+        result = run_hwdsm(_make_app(args),
+                           config=HWDSMConfig(nprocs=config.total_procs))
+    else:
+        result = run_svm(_make_app(args), PROTOCOLS[args.protocol],
+                         config=config)
+    mean = result.mean_breakdown
+    print(f"{args.app} on {result.system}, {result.nprocs} processors")
+    print(f"  sequential time : {seq.time_us / 1000:.1f} ms")
+    print(f"  parallel time   : {result.time_us / 1000:.1f} ms")
+    print(f"  speedup         : {speedup(seq, result):.2f}")
+    print(f"  breakdown (ms)  : compute={mean.compute / 1000:.1f} "
+          f"data={mean.data / 1000:.1f} lock={mean.lock / 1000:.1f} "
+          f"acqrel={mean.acqrel / 1000:.1f} "
+          f"barrier={mean.barrier / 1000:.1f}")
+    for key in ("interrupts", "messages", "page_fetches", "fetch_retries",
+                "diffs_sent", "diff_runs_sent", "wn_messages"):
+        if key in result.stats:
+            print(f"  {key:15s} : {result.stats[key]}")
+    return 0
+
+
+def _cmd_ladder(args) -> int:
+    from .experiments import format_table
+    cls = APP_REGISTRY[args.app]
+    seq = run_sequential(cls())
+    rows = []
+    for feats in PROTOCOL_LADDER:
+        result = run_svm(cls(), feats)
+        rows.append((feats.name, speedup(seq, result),
+                     result.stats["interrupts"],
+                     result.stats["messages"]))
+    print(format_table(["Protocol", "Speedup", "Interrupts", "Messages"],
+                       rows, title=f"{args.app}: protocol ladder"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from . import experiments as ex
+    fns = {
+        "1": (ex.compute_figure1, ex.render_figure1),
+        "2": (ex.compute_figure2, ex.render_figure2),
+        "3": (ex.compute_figure3, ex.render_figure3),
+        "4": (ex.compute_figure4, ex.render_figure4),
+    }
+    compute, render = fns[args.number]
+    print(render(compute()))
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from . import experiments as ex
+    if args.number == "1":
+        print(ex.render_table1(ex.compute_table1()))
+    elif args.number == "2":
+        print(ex.render_table2(ex.compute_table2()))
+    elif args.number in ("3", "4"):
+        data = ex.compute_table34()
+        print(ex.render_table34(
+            data, "small" if args.number == "3" else "large"))
+    elif args.number == "5":
+        print(ex.render_table5(ex.compute_table5()))
+    return 0
+
+
+def _cmd_traffic(args) -> int:
+    from .experiments import render_traffic, traffic_profile
+    from .svm import BASE, GENIMA
+    profiles = {}
+    for feats in (BASE, GENIMA):
+        profiles[feats.name] = traffic_profile(args.app, feats)
+    print(render_traffic(profiles, args.app))
+    return 0
+
+
+def _cmd_calibrate(_args) -> int:
+    from .experiments import (measure_comm_layer, measure_page_fetch,
+                              render_calibration)
+    print(render_calibration(measure_comm_layer(), measure_page_fetch()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GeNIMA reproduction (Bilas, Liao & Singh, ISCA 1999)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and protocols") \
+        .set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="run one app on one system")
+    run.add_argument("--app", required=True, choices=sorted(APP_REGISTRY))
+    run.add_argument("--protocol", default="GeNIMA",
+                     choices=sorted(PROTOCOLS) + ["Origin"])
+    run.add_argument("--nodes", type=int, default=4,
+                     help="SMP nodes (4 procs each)")
+    run.add_argument("--paper-size", action="store_true",
+                     help="use the paper's problem size (slow)")
+    run.set_defaults(fn=_cmd_run)
+
+    ladder = sub.add_parser("ladder",
+                            help="one app across the protocol ladder")
+    ladder.add_argument("--app", required=True,
+                        choices=sorted(APP_REGISTRY))
+    ladder.set_defaults(fn=_cmd_ladder)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", choices=["1", "2", "3", "4"])
+    fig.set_defaults(fn=_cmd_figure)
+
+    tab = sub.add_parser("table", help="regenerate a paper table")
+    tab.add_argument("number", choices=["1", "2", "3", "4", "5"])
+    tab.set_defaults(fn=_cmd_table)
+
+    traffic = sub.add_parser(
+        "traffic", help="traffic profile by message kind, Base vs GeNIMA")
+    traffic.add_argument("--app", required=True,
+                         choices=sorted(APP_REGISTRY))
+    traffic.set_defaults(fn=_cmd_traffic)
+
+    sub.add_parser("calibrate",
+                   help="communication-layer microbenchmarks") \
+        .set_defaults(fn=_cmd_calibrate)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

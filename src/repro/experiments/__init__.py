@@ -1,0 +1,41 @@
+"""Experiment drivers: one module per paper figure/table, plus
+calibration microbenchmarks and ablations."""
+
+from .ablations import (ablate_diff_scatter, ablate_eager_wn,
+                        ablate_hol_blocking, ablate_post_queue,
+                        render_ablation)
+from .cache import CACHE, ExperimentCache
+from .calibration import (measure_comm_layer, measure_page_fetch,
+                          render_calibration)
+from .figures import (compute_figure1, compute_figure2, compute_figure3,
+                      compute_figure4, render_figure1, render_figure2,
+                      render_figure3, render_figure4)
+from .reporting import format_table
+from .sensitivity import (interrupt_cost_sensitivity, render_scaling,
+                          render_sensitivity, scaling_study)
+from .traffic import render_traffic, traffic_profile
+from .tables import (compute_table1, compute_table2, compute_table34,
+                     compute_table5, render_table1, render_table2,
+                     render_table34, render_table5)
+
+__all__ = [
+    "CACHE",
+    "ExperimentCache",
+    "format_table",
+    "measure_comm_layer",
+    "measure_page_fetch",
+    "render_calibration",
+    "compute_figure1", "render_figure1",
+    "compute_figure2", "render_figure2",
+    "compute_figure3", "render_figure3",
+    "compute_figure4", "render_figure4",
+    "compute_table1", "render_table1",
+    "compute_table2", "render_table2",
+    "compute_table34", "render_table34",
+    "compute_table5", "render_table5",
+    "ablate_hol_blocking", "ablate_post_queue",
+    "ablate_diff_scatter", "ablate_eager_wn", "render_ablation",
+    "interrupt_cost_sensitivity", "render_sensitivity",
+    "scaling_study", "render_scaling",
+    "traffic_profile", "render_traffic",
+]

@@ -1,0 +1,64 @@
+"""Shared run cache for experiment drivers.
+
+Figures 1-4 and Tables 1-2 all consume the same 10 apps x 5 protocols
+grid (plus sequential and hardware-DSM baselines); this cache runs each
+cell once per process and hands the RunResult to every driver that asks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..hw import MachineConfig
+from ..hwdsm import HWDSMConfig
+from ..runtime import RunResult, run_hwdsm, run_sequential, run_svm
+from ..svm import ProtocolFeatures
+from ..apps import APP_REGISTRY
+
+__all__ = ["ExperimentCache", "CACHE"]
+
+
+class ExperimentCache:
+    """Lazily-computed (app, system, nodes) -> RunResult grid."""
+
+    def __init__(self, config: Optional[MachineConfig] = None):
+        self.config = config or MachineConfig()
+        self._results: Dict[Tuple, RunResult] = {}
+
+    def _app(self, app_name: str, **params):
+        cls = APP_REGISTRY[app_name]
+        return cls(**params) if params else cls()
+
+    def svm(self, app_name: str, features: ProtocolFeatures,
+            nodes: Optional[int] = None, **params) -> RunResult:
+        nodes = nodes or self.config.nodes
+        key = ("svm", app_name, features, nodes, tuple(sorted(params.items())))
+        if key not in self._results:
+            config = self.config.scaled(nodes=nodes)
+            self._results[key] = run_svm(self._app(app_name, **params),
+                                         features, config=config)
+        return self._results[key]
+
+    def seq(self, app_name: str, **params) -> RunResult:
+        key = ("seq", app_name, tuple(sorted(params.items())))
+        if key not in self._results:
+            self._results[key] = run_sequential(
+                self._app(app_name, **params), config=self.config)
+        return self._results[key]
+
+    def origin(self, app_name: str, nprocs: Optional[int] = None,
+               **params) -> RunResult:
+        nprocs = nprocs or self.config.total_procs
+        key = ("origin", app_name, nprocs, tuple(sorted(params.items())))
+        if key not in self._results:
+            hw = HWDSMConfig(nprocs=nprocs)
+            self._results[key] = run_hwdsm(self._app(app_name, **params),
+                                           config=hw)
+        return self._results[key]
+
+    def speedup(self, app_name: str, result: RunResult) -> float:
+        return self.seq(app_name).time_us / result.time_us
+
+
+#: process-wide cache used by all experiment drivers and benchmarks.
+CACHE = ExperimentCache()

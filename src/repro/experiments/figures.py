@@ -1,0 +1,132 @@
+"""Figure drivers: speedup charts and execution-time breakdowns.
+
+* Figure 1 — speedups, hardware DSM (Origin 2000) vs. the Base SVM
+  protocol, 16 processors, all ten applications.
+* Figure 2 — speedups for the protocol ladder (Base, DW, DW+RF,
+  DW+RF+DD, GeNIMA) per application.
+* Figure 3 — normalized execution-time breakdowns (Compute / Data /
+  Lock / AcqRel / Barrier) for the same grid.
+* Figure 4 — speedups for Origin 2000, Base and GeNIMA.
+
+Each ``compute_*`` returns plain data; each ``render_*`` produces the
+text table the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps import PAPER_APPS
+from ..sim import BUCKETS
+from ..svm import BASE, GENIMA, PROTOCOL_LADDER
+from .cache import CACHE, ExperimentCache
+from .reporting import format_table
+
+__all__ = [
+    "compute_figure1", "render_figure1",
+    "compute_figure2", "render_figure2",
+    "compute_figure3", "render_figure3",
+    "compute_figure4", "render_figure4",
+]
+
+LADDER_NAMES = [f.name for f in PROTOCOL_LADDER]
+
+
+# ------------------------------------------------------------------ Figure 1
+
+def compute_figure1(cache: ExperimentCache = CACHE,
+                    apps: List[str] = None) -> Dict[str, Dict[str, float]]:
+    apps = apps or PAPER_APPS
+    out = {}
+    for app in apps:
+        out[app] = {
+            "Origin": cache.speedup(app, cache.origin(app)),
+            "Base": cache.speedup(app, cache.svm(app, BASE)),
+        }
+    return out
+
+
+def render_figure1(data: Dict[str, Dict[str, float]]) -> str:
+    rows = [(app, vals["Origin"], vals["Base"]) for app, vals in data.items()]
+    return format_table(
+        ["Application", "Origin 2000", "SVM (Base)"], rows,
+        title="Figure 1: speedups, hardware DSM vs Base SVM (16 procs)")
+
+
+# ------------------------------------------------------------------ Figure 2
+
+def compute_figure2(cache: ExperimentCache = CACHE,
+                    apps: List[str] = None) -> Dict[str, Dict[str, float]]:
+    apps = apps or PAPER_APPS
+    out = {}
+    for app in apps:
+        out[app] = {
+            feats.name: cache.speedup(app, cache.svm(app, feats))
+            for feats in PROTOCOL_LADDER
+        }
+    return out
+
+
+def render_figure2(data: Dict[str, Dict[str, float]]) -> str:
+    rows = [tuple([app] + [vals[n] for n in LADDER_NAMES])
+            for app, vals in data.items()]
+    return format_table(
+        ["Application"] + LADDER_NAMES, rows,
+        title="Figure 2: application speedups per protocol (16 procs)")
+
+
+# ------------------------------------------------------------------ Figure 3
+
+def compute_figure3(cache: ExperimentCache = CACHE,
+                    apps: List[str] = None) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per app, per protocol: execution-time fractions normalized to
+    the Base protocol's total (as the paper's stacked bars are)."""
+    apps = apps or PAPER_APPS
+    out = {}
+    for app in apps:
+        base_total = cache.svm(app, BASE).mean_breakdown.total
+        per_protocol = {}
+        for feats in PROTOCOL_LADDER:
+            mean = cache.svm(app, feats).mean_breakdown
+            per_protocol[feats.name] = {
+                bucket: getattr(mean, bucket) / base_total
+                for bucket in BUCKETS
+            }
+        out[app] = per_protocol
+    return out
+
+
+def render_figure3(data) -> str:
+    rows = []
+    for app, per_protocol in data.items():
+        for name in LADDER_NAMES:
+            frac = per_protocol[name]
+            rows.append((app, name) + tuple(frac[b] for b in BUCKETS)
+                        + (sum(frac.values()),))
+    return format_table(
+        ["Application", "Protocol"] + list(BUCKETS) + ["total"], rows,
+        title=("Figure 3: execution-time breakdowns, normalized to each "
+               "application's Base total"))
+
+
+# ------------------------------------------------------------------ Figure 4
+
+def compute_figure4(cache: ExperimentCache = CACHE,
+                    apps: List[str] = None) -> Dict[str, Dict[str, float]]:
+    apps = apps or PAPER_APPS
+    out = {}
+    for app in apps:
+        out[app] = {
+            "Origin": cache.speedup(app, cache.origin(app)),
+            "Base": cache.speedup(app, cache.svm(app, BASE)),
+            "GeNIMA": cache.speedup(app, cache.svm(app, GENIMA)),
+        }
+    return out
+
+
+def render_figure4(data: Dict[str, Dict[str, float]]) -> str:
+    rows = [(app, v["Origin"], v["Base"], v["GeNIMA"])
+            for app, v in data.items()]
+    return format_table(
+        ["Application", "Origin 2000", "Base", "GeNIMA"], rows,
+        title="Figure 4: speedups, hardware DSM vs Base vs GeNIMA")

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value, digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    return f"{value:.{digits}f}"
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence],
+                 title: str = "") -> str:
+    """Render a fixed-width text table (all experiment output goes
+    through this, so bench logs read like the paper's tables)."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([c if isinstance(c, str) else format_float(c)
+                      for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "  ".join("-" * w for w in widths)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

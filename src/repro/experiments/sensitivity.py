@@ -1,0 +1,88 @@
+"""Sensitivity and scaling studies.
+
+* **Interrupt-cost sensitivity** — the paper's premise is that "the
+  cost of interrupts used for asynchronous message handling and/or
+  protocol processing is one of the most important bottlenecks in
+  modern SVM clusters".  If that is what GeNIMA exploits, its advantage
+  over Base must grow with the interrupt cost and shrink toward the
+  cost of its extra traffic as interrupts become free.  This study
+  sweeps ``interrupt_us`` and measures both protocols.
+
+* **Scaling study** — speedups versus processor count (Section 5:
+  "we are currently investigating how the performance and bottlenecks
+  scale with system size"), at fixed problem size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hw import MachineConfig
+from ..runtime import run_sequential, run_svm
+from ..svm import BASE, GENIMA
+from ..apps import APP_REGISTRY
+from .reporting import format_table
+
+__all__ = ["interrupt_cost_sensitivity", "scaling_study",
+           "render_sensitivity", "render_scaling"]
+
+
+def interrupt_cost_sensitivity(
+        app_name: str = "Water-nsquared",
+        interrupt_costs=(5.0, 20.0, 55.0, 110.0),
+        jitter_ratio: float = 0.7) -> List[Dict]:
+    """Base vs GeNIMA execution time as interrupts get more expensive.
+
+    ``jitter_ratio`` scales the SMP scheduling jitter with the
+    interrupt cost (they move together on real systems).
+    """
+    cls = APP_REGISTRY[app_name]
+    seq = run_sequential(cls())
+    rows = []
+    for cost in interrupt_costs:
+        config = MachineConfig(interrupt_us=cost,
+                               sched_jitter_us=cost * jitter_ratio)
+        base = run_svm(cls(), BASE, config=config)
+        genima = run_svm(cls(), GENIMA, config=config)
+        rows.append({
+            "interrupt_us": cost,
+            "base_speedup": seq.time_us / base.time_us,
+            "genima_speedup": seq.time_us / genima.time_us,
+            "genima_gain_pct": 100.0 * (base.time_us / genima.time_us - 1),
+        })
+    return rows
+
+
+def render_sensitivity(rows: List[Dict], app_name: str) -> str:
+    return format_table(
+        ["interrupt_us", "Base speedup", "GeNIMA speedup", "gain %"],
+        [(r["interrupt_us"], r["base_speedup"], r["genima_speedup"],
+          r["genima_gain_pct"]) for r in rows],
+        title=f"Sensitivity: GeNIMA's advantage vs interrupt cost "
+              f"({app_name})")
+
+
+def scaling_study(app_name: str = "Water-spatial",
+                  node_counts=(1, 2, 4, 8)) -> List[Dict]:
+    """Speedup vs processor count for Base and GeNIMA, fixed size."""
+    cls = APP_REGISTRY[app_name]
+    seq = run_sequential(cls())
+    rows = []
+    for nodes in node_counts:
+        config = MachineConfig(nodes=nodes)
+        base = run_svm(cls(), BASE, config=config)
+        genima = run_svm(cls(), GENIMA, config=config)
+        rows.append({
+            "procs": config.total_procs,
+            "base_speedup": seq.time_us / base.time_us,
+            "genima_speedup": seq.time_us / genima.time_us,
+        })
+    return rows
+
+
+def render_scaling(rows: List[Dict], app_name: str) -> str:
+    return format_table(
+        ["processors", "Base", "GeNIMA"],
+        [(r["procs"], r["base_speedup"], r["genima_speedup"])
+         for r in rows],
+        title=f"Scaling study: speedup vs system size ({app_name})")

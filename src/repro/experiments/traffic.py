@@ -1,0 +1,55 @@
+"""Per-application communication traffic profiles.
+
+Breaks a run's traffic down by message kind (the way Section 4 reasons
+about the communication layer): how many page fetches, diff runs,
+write-notice deposits, lock operations and barrier control words each
+protocol sends, and the bytes behind them.  Not a numbered paper
+artifact, but the quantity every Section 3.3 argument is about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hw import Machine, MachineConfig
+from ..runtime import run_on_backend
+from ..runtime.backends import SVMBackend
+from ..svm import ProtocolFeatures
+from ..apps import APP_REGISTRY
+from .reporting import format_table
+
+__all__ = ["traffic_profile", "render_traffic"]
+
+
+def traffic_profile(app_name: str, features: ProtocolFeatures,
+                    config: MachineConfig = None) -> Dict[str, Dict]:
+    """Run one app/protocol and return packets+bytes by message kind."""
+    backend = SVMBackend(config or MachineConfig(), features)
+    run_on_backend(APP_REGISTRY[app_name](), backend,
+                   system=features.name)
+    monitor = backend.monitor
+    kinds = sorted(set(monitor.packets_by_kind)
+                   | set(monitor.bytes_by_kind))
+    return {
+        kind: {
+            "packets": monitor.packets_by_kind.get(kind, 0),
+            "bytes": monitor.bytes_by_kind.get(kind, 0),
+        }
+        for kind in kinds
+    }
+
+
+def render_traffic(profiles: Dict[str, Dict[str, Dict]],
+                   app_name: str) -> str:
+    """``profiles`` maps protocol name -> traffic_profile() result."""
+    kinds = sorted({k for p in profiles.values() for k in p})
+    rows = []
+    for kind in kinds:
+        row = [kind]
+        for name, profile in profiles.items():
+            entry = profile.get(kind, {"packets": 0, "bytes": 0})
+            row.append(f"{entry['packets']}p/{entry['bytes'] // 1024}KB")
+        rows.append(tuple(row))
+    return format_table(["kind"] + list(profiles), rows,
+                        title=f"Traffic profile by message kind: "
+                              f"{app_name}")

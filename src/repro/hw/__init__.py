@@ -1,0 +1,21 @@
+"""Hardware model: SMP nodes, Myrinet-style NIs, crossbar network."""
+
+from .config import PAPER_16P, PAPER_32P, MachineConfig
+from .machine import Machine
+from .network import Network
+from .nic import NIC
+from .node import Node
+from .packet import SMALL_MESSAGE_BYTES, Message, Packet
+
+__all__ = [
+    "MachineConfig",
+    "PAPER_16P",
+    "PAPER_32P",
+    "Machine",
+    "Network",
+    "NIC",
+    "Node",
+    "Message",
+    "Packet",
+    "SMALL_MESSAGE_BYTES",
+]

@@ -1,0 +1,128 @@
+"""Machine configuration: the calibrated cost model of the testbed.
+
+Defaults reproduce the paper's platform (Section 3.1): a cluster of
+four 4-way 200 MHz Pentium Pro SMPs connected by Myrinet through an
+8-way crossbar, with the VMMC communication layer.  Calibration targets
+stated in the paper:
+
+* one-way latency for a one-word message  ~ 18 us
+* maximum available bandwidth             ~ 95 MB/s
+* asynchronous send post overhead         ~ 2 us
+* 4 KB page fetch with remote fetch       ~ 110 us (one word ~ 40 us)
+* 4 KB page fetch without remote fetch    ~ 200 us (interrupt path)
+
+``benchmarks/test_calibration.py`` asserts the simulated communication
+layer hits these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+__all__ = ["MachineConfig", "PAPER_16P", "PAPER_32P"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """All hardware/OS cost parameters, in microseconds and MB/s."""
+
+    # -- topology ----------------------------------------------------------
+    nodes: int = 4
+    procs_per_node: int = 4
+
+    # -- memory system ------------------------------------------------------
+    page_size: int = 4096
+    #: factor by which one extra active processor on the SMP memory bus
+    #: inflates local compute time of bus-intensive code (Section 3.4,
+    #: "Memory bus contention and cache effects").
+    bus_contention_factor: float = 0.035
+    host_memcpy_mbps: float = 80.0   # in-node page copy bandwidth
+
+    # -- network fabric ------------------------------------------------------
+    packet_max: int = 4096
+    link_bw_mbps: float = 160.0      # Myrinet unidirectional link
+    pci_bw_mbps: float = 133.0       # I/O bus between host memory and NI
+    wire_latency_us: float = 0.5     # link + one 8-way crossbar hop
+
+    # -- network interface (LANai) ------------------------------------------
+    post_overhead_us: float = 2.0    # host cost to post an async send
+    post_queue_len: int = 64         # NI request-queue entries
+    dma_setup_us: float = 2.0        # per-packet DMA engine setup
+    ni_proc_us: float = 5.0          # LANai per-packet processing (33 MHz)
+    ni_lock_op_us: float = 3.0       # firmware lock-queue operation
+    ni_fetch_setup_us: float = 3.0   # firmware remote-fetch service setup
+    #: extra LANai time per run to pack/unpack scatter-gather diffs
+    #: (Section 5: "would require additional processing in the NI").
+    ni_sg_per_run_us: float = 0.8
+    notify_us: float = 2.0           # completion/notification cost at host
+    fetch_retry_backoff_us: float = 20.0  # wait before re-fetching a stale page
+
+    # -- interrupts & protocol handler ----------------------------------------
+    interrupt_us: float = 55.0       # deliver, vector, enter handler
+    sched_jitter_us: float = 40.0    # mean extra SMP scheduling delay
+    handler_dispatch_us: float = 3.0  # protocol-process dispatch cost
+
+    # -- OS / SVM software costs ------------------------------------------------
+    mprotect_call_us: float = 9.0    # one mprotect() system call
+    mprotect_page_us: float = 0.6    # per additional page when coalesced
+    page_fault_us: float = 5.0       # SIGSEGV delivery + decode
+    twin_us: float = 24.0            # copy a 4 KB page (make twin)
+    diff_scan_us: float = 30.0       # word-compare a page with its twin
+    diff_pack_per_kb_us: float = 10.0   # pack modified runs (Base)
+    diff_apply_per_kb_us: float = 12.0  # unpack+apply at home (Base)
+    protocol_op_us: float = 2.5      # small protocol bookkeeping action
+
+    # -- RNG ---------------------------------------------------------------------
+    seed: int = 12345
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def total_procs(self) -> int:
+        return self.nodes * self.procs_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting global process ``rank``."""
+        if not 0 <= rank < self.total_procs:
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.procs_per_node
+
+    def procs_of(self, node: int) -> Tuple[int, ...]:
+        """Global ranks of the processes on ``node``."""
+        base = node * self.procs_per_node
+        return tuple(range(base, base + self.procs_per_node))
+
+    # -- uncontended stage references (used by the firmware monitor) -----------
+
+    def src_uncontended_us(self, size: int) -> float:
+        """Descriptor pickup + host->NI DMA for one packet."""
+        return self.dma_setup_us + size / self.pci_bw_mbps
+
+    def lanai_uncontended_us(self, size: int) -> float:
+        """LANai processing + injection into the network."""
+        return self.ni_proc_us + size / self.link_bw_mbps
+
+    def net_uncontended_us(self, size: int) -> float:
+        """End of source DMA until last word reaches the receiving NI."""
+        return self.ni_proc_us + self.wire_latency_us + size / self.link_bw_mbps
+
+    def dest_uncontended_us(self, size: int) -> float:
+        """Receiving-NI processing + NI->host DMA."""
+        return self.ni_proc_us + self.dma_setup_us + size / self.pci_bw_mbps
+
+    def packets_for(self, size: int) -> int:
+        """Number of packets a ``size``-byte message occupies."""
+        if size <= 0:
+            return 1
+        return (size + self.packet_max - 1) // self.packet_max
+
+    def scaled(self, **overrides) -> "MachineConfig":
+        """A copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+#: The paper's 16-processor testbed (4 nodes x 4-way SMP).
+PAPER_16P = MachineConfig()
+
+#: The 32-processor configuration of Table 5 (8 nodes x 4-way SMP).
+PAPER_32P = MachineConfig(nodes=8)

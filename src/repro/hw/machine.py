@@ -1,0 +1,41 @@
+"""Cluster assembly: nodes + NICs + network on one simulator."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim import Simulator
+from .config import MachineConfig
+from .network import Network
+from .nic import NIC
+from .node import Node
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """The simulated cluster: one call builds the whole testbed."""
+
+    def __init__(self, config: MachineConfig = None, sim: Simulator = None):
+        self.config = config or MachineConfig()
+        self.sim = sim or Simulator()
+        self.network = Network(self.sim, self.config)
+        self.nodes: List[Node] = []
+        self.nics: List[NIC] = []
+        for node_id in range(self.config.nodes):
+            node = Node(self.sim, self.config, node_id)
+            nic = NIC(self.sim, self.config, node_id, self.network)
+            self.network.attach(node_id, nic)
+            self.nodes.append(node)
+            self.nics.append(nic)
+
+    def node_of(self, rank: int) -> Node:
+        """The node hosting global process ``rank``."""
+        return self.nodes[self.config.node_of(rank)]
+
+    def nic_of(self, rank: int) -> NIC:
+        """The NIC of the node hosting global process ``rank``."""
+        return self.nics[self.config.node_of(rank)]
+
+    def run(self, until: float = None) -> float:
+        return self.sim.run(until=until)

@@ -1,0 +1,56 @@
+"""The system-area network: point-to-point links into one crossbar.
+
+The paper's four (or eight) nodes all connect directly to a single
+8-way Myrinet switch, so the fabric itself is non-blocking: contention
+happens at the NI endpoints (modelled in :class:`repro.hw.nic.NIC`),
+not inside the switch.  The network therefore only adds the wire +
+switch traversal latency and preserves per-source ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim import Simulator
+from .config import MachineConfig
+from .packet import Packet
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A non-blocking crossbar connecting all node NICs."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig):
+        self.sim = sim
+        self.config = config
+        self._nics: Dict[int, "NIC"] = {}
+        self.packets_carried = 0
+        self.bytes_carried = 0
+
+    def attach(self, node_id: int, nic: "NIC") -> None:
+        if node_id in self._nics:
+            raise ValueError(f"node {node_id} already attached")
+        self._nics[node_id] = nic
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self._nics)
+
+    def deliver(self, pkt: Packet) -> None:
+        """Carry an injected packet to its destination NI.
+
+        Arrival is scheduled ``wire_latency_us`` after injection; since
+        the latency is constant and injections from one NI are ordered,
+        per-source in-order delivery (the only ordering VMMC needs) is
+        preserved.
+        """
+        dst = pkt.dst
+        if dst not in self._nics:
+            raise LookupError(f"packet for unattached node {dst}")
+        if dst == pkt.src:
+            raise ValueError("loopback packets must not enter the network")
+        self.packets_carried += 1
+        self.bytes_carried += pkt.size
+        self.sim.schedule(self.config.wire_latency_us,
+                          lambda: self._nics[dst].receive(pkt))

@@ -1,0 +1,106 @@
+"""SMP node model: processors, memory bus and the protocol process.
+
+Each node runs ``procs_per_node`` compute processes plus one *floating
+protocol process* (HLRC-SMP's design) that services interrupt-driven
+protocol requests.  The protocol process is a serial resource: when
+several incoming requests interrupt the node, they queue — one of the
+contention effects the paper measures for Barnes-original's locks.
+
+Local memory-bus contention (Section 3.4) is modelled as a static
+inflation of compute time that grows with the number of active
+processors on the node and the application's bus intensity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sim import Resource, Simulator
+from .config import MachineConfig
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One SMP node of the cluster."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig, node_id: int):
+        self.sim = sim
+        self.config = config
+        self.node_id = node_id
+        #: HLRC-SMP's floating protocol process (serial per node).
+        self.protocol_proc = Resource(sim, 1, name=f"node{node_id}.proto")
+        #: deterministic per-node RNG (scheduling jitter etc.).
+        self.rng = random.Random(config.seed * 1000003 + node_id)
+        # Interrupt accounting.
+        self.interrupts_taken = 0
+        self.interrupt_busy_us = 0.0
+
+    # -- compute ------------------------------------------------------------
+
+    def compute_time(self, t_us: float, bus_intensity: float = 0.0,
+                     active_procs: int = None) -> float:
+        """Inflate ``t_us`` of local compute for SMP memory-bus contention.
+
+        ``bus_intensity`` in [0, 1] is how memory-bandwidth-bound the
+        code is (FFT/Ocean high, Water low); each additional active
+        processor on the bus adds ``bus_contention_factor * intensity``.
+        """
+        if t_us < 0:
+            raise ValueError("negative compute time")
+        if not 0.0 <= bus_intensity <= 1.0:
+            raise ValueError("bus_intensity must be within [0, 1]")
+        if active_procs is None:
+            active_procs = self.config.procs_per_node
+        extra = self.config.bus_contention_factor * bus_intensity \
+            * max(active_procs - 1, 0)
+        return t_us * (1.0 + extra)
+
+    # -- interrupts ------------------------------------------------------------
+
+    def interrupt_entry_delay(self) -> float:
+        """Cost to get the protocol process running for one request.
+
+        Interrupt delivery plus SMP scheduling effects; the jitter is an
+        exponential with the configured mean, drawn from the node RNG so
+        runs are reproducible.
+        """
+        cfg = self.config
+        jitter = self.rng.expovariate(1.0 / cfg.sched_jitter_us) \
+            if cfg.sched_jitter_us > 0 else 0.0
+        return cfg.interrupt_us + cfg.handler_dispatch_us + jitter
+
+    def handler(self, gen, entry_delay: bool = True):
+        """Generator: run ``gen`` as one protocol-handler activation.
+
+        Serializes on the node's protocol process; with ``entry_delay``
+        the activation is interrupt-driven and pays interrupt delivery
+        plus scheduling jitter, otherwise it is a synchronous dispatch
+        (e.g. work triggered by a local release) costing only the
+        dispatch overhead.
+        """
+        self.interrupts_taken += 1 if entry_delay else 0
+        start = self.sim.now
+        yield self.protocol_proc.request()
+        try:
+            if entry_delay:
+                yield self.sim.timeout(self.interrupt_entry_delay())
+            else:
+                yield self.sim.timeout(self.config.handler_dispatch_us)
+            yield from gen
+        finally:
+            self.protocol_proc.release()
+        self.interrupt_busy_us += self.sim.now - start
+
+    def run_handler(self, service_us: float, entry_delay: bool = True):
+        """Generator: one fixed-cost protocol-handler activation.
+
+        Convenience wrapper over :meth:`handler` used by the
+        interrupt-driven Base protocol for page requests, lock requests
+        and diff applies.
+        """
+        def body():
+            if service_us > 0:
+                yield self.sim.timeout(service_us)
+
+        yield from self.handler(body(), entry_delay=entry_delay)

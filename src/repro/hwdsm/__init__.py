@@ -1,0 +1,5 @@
+"""Hardware cache-coherent DSM yardstick (Origin-2000 stand-in)."""
+
+from .origin import HWDSMBackend, HWDSMConfig
+
+__all__ = ["HWDSMBackend", "HWDSMConfig"]

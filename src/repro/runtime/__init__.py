@@ -1,0 +1,19 @@
+"""Runtime: app-facing parallel API, backends, run driver, results."""
+
+from .backends import LocalBackend, SVMBackend
+from .context import Backend, ParallelContext
+from .results import RunResult, speedup
+from .runner import run_hwdsm, run_on_backend, run_sequential, run_svm
+
+__all__ = [
+    "Backend",
+    "ParallelContext",
+    "LocalBackend",
+    "SVMBackend",
+    "RunResult",
+    "speedup",
+    "run_hwdsm",
+    "run_on_backend",
+    "run_sequential",
+    "run_svm",
+]

@@ -1,0 +1,119 @@
+"""Run driver: applications x backends -> RunResults.
+
+Handles the paper's measurement methodology: an untimed initialization
+phase (cold page faults, region touch) followed by a barrier, after
+which accounting is reset and the timed section begins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hw import MachineConfig
+from ..sim import TimeBuckets
+from ..svm import ProtocolFeatures
+from .backends import LocalBackend, SVMBackend
+from .results import RunResult
+
+__all__ = ["run_svm", "run_sequential", "run_hwdsm", "run_on_backend"]
+
+
+def run_on_backend(app, backend, system: str,
+                   nprocs: Optional[int] = None) -> RunResult:
+    """Execute ``app`` on ``backend`` and collect a RunResult."""
+    nprocs = nprocs or backend.nprocs
+    sim = backend.sim
+    regions = app.setup(backend)
+    start_times = [0.0] * nprocs
+    end_times = [0.0] * nprocs
+    finished = [0]
+
+    protocol = getattr(backend, "protocol", None)
+    monitor = getattr(backend, "monitor", None)
+
+    def driver(rank):
+        ctx = app.context(backend, rank, nprocs)
+        yield from app.init_process(ctx, regions)
+        yield from backend.op_barrier(rank)
+        start_times[rank] = sim.now
+        if protocol is not None:
+            # Timed section starts: clear this rank's accounting.
+            protocol.buckets[rank] = TimeBuckets()
+            protocol.barrier_protocol_us[rank] = 0.0
+        yield from app.process(ctx, regions)
+        end_times[rank] = sim.now
+        finished[0] += 1
+
+    baseline = _stats_snapshot(backend)
+    for rank in range(nprocs):
+        sim.process(driver(rank), name=f"{app.name}.{rank}")
+    sim.run()
+    if finished[0] != nprocs:
+        raise RuntimeError(
+            f"{app.name}/{system}: only {finished[0]}/{nprocs} "
+            f"processes finished (deadlock?)")
+
+    result = RunResult(
+        app=app.name,
+        system=system,
+        nprocs=nprocs,
+        time_us=max(end_times) - min(start_times),
+    )
+    if protocol is not None:
+        result.buckets = list(protocol.buckets)
+        result.barrier_protocol_us = list(protocol.barrier_protocol_us)
+        result.mprotect_us = protocol.mprotect.grand_total_us
+        result.stats = _stats_delta(baseline, _stats_snapshot(backend))
+    if monitor is not None:
+        result.monitor_small = monitor.ratios("small").as_dict()
+        result.monitor_large = monitor.ratios("large").as_dict()
+    return result
+
+
+def _stats_snapshot(backend) -> dict:
+    protocol = getattr(backend, "protocol", None)
+    if protocol is None:
+        return {}
+    snap = {
+        "interrupts": protocol.total_interrupts,
+        "page_fetches": protocol.page_fetches,
+        "fetch_retries": protocol.fetch_retries,
+        "diffs_sent": protocol.diffs_sent,
+        "diff_runs_sent": protocol.diff_runs_sent,
+        "wn_messages": protocol.wn_messages,
+        "messages": protocol.vmmc.messages_sent,
+        "bytes": protocol.vmmc.bytes_sent,
+    }
+    if protocol.ni_locks is not None:
+        snap["lock_acquires"] = protocol.ni_locks.acquires
+    elif protocol.svm_locks is not None:
+        snap["lock_acquires"] = protocol.svm_locks.acquires
+    return snap
+
+
+def _stats_delta(before: dict, after: dict) -> dict:
+    return {k: after[k] - before.get(k, 0) for k in after}
+
+
+def run_svm(app, features: ProtocolFeatures,
+            config: Optional[MachineConfig] = None,
+            with_monitor: bool = True) -> RunResult:
+    """Run ``app`` on the SVM cluster under one protocol variant."""
+    backend = SVMBackend(config or MachineConfig(), features,
+                         with_monitor=with_monitor)
+    return run_on_backend(app, backend, system=features.name)
+
+
+def run_sequential(app, config: Optional[MachineConfig] = None) -> RunResult:
+    """Uniprocessor baseline (no SVM library)."""
+    backend = LocalBackend(config)
+    return run_on_backend(app, backend, system="seq", nprocs=1)
+
+
+def run_hwdsm(app, config=None) -> RunResult:
+    """The hardware-coherent yardstick (Origin 2000 stand-in)."""
+    # Imported here: repro.hwdsm depends on repro.runtime.context, so a
+    # top-level import would be circular.
+    from ..hwdsm import HWDSMBackend
+    backend = HWDSMBackend(config)
+    return run_on_backend(app, backend, system="Origin", nprocs=backend.nprocs)

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel (events, processes, resources, stats)."""
+
+from .engine import (
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import RateServer, Resource, Store
+from .stats import BUCKETS, RunningStat, TimeBuckets, weighted_mean
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "RateServer",
+    "Resource",
+    "Store",
+    "BUCKETS",
+    "RunningStat",
+    "TimeBuckets",
+    "weighted_mean",
+    "TraceEvent",
+    "Tracer",
+]

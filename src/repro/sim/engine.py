@@ -1,0 +1,318 @@
+"""Discrete-event simulation kernel.
+
+A tiny, deterministic, generator-based discrete-event engine in the
+style of SimPy, sized for this project.  Simulated *processes* are
+Python generators that ``yield`` :class:`Event` objects; the kernel
+resumes a process when the event it is waiting on fires, passing the
+event's value back through ``send``.
+
+Time is a ``float``; this project uses microseconds throughout.
+
+Determinism: events scheduled for the same instant fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a
+simulation with the same inputs always produces the same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Simulator",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. triggering an event twice)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or
+    :meth:`fail`) *triggers* it, after which its callbacks run at the
+    current simulation instant.  Yielding an already-triggered event
+    resumes the process immediately (at the same instant).
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "_triggered", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.sim._push_triggered(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._exc = exc
+        self.sim._push_triggered(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._triggered and self._callbacks is _CONSUMED:
+            # Already dispatched: run at once (same sim instant).
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, _CONSUMED
+        for fn in callbacks:
+            fn(self)
+
+
+class _Consumed(list):
+    """Sentinel callback list for dispatched events (append = run now)."""
+
+    def append(self, fn):  # type: ignore[override]
+        raise SimulationError("internal: append to consumed callback list")
+
+
+_CONSUMED = _Consumed()
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """A running simulated process; also an event that fires on return.
+
+    The wrapped generator yields :class:`Event` instances.  When the
+    generator returns, the process event succeeds with the generator's
+    return value; an uncaught exception fails the process event (and
+    propagates at :meth:`Simulator.run` time if nobody waits on it).
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off at the current instant.
+        boot = Event(sim)
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at this instant."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        target = self._waiting_on
+        if target is not None:
+            # Detach: the interrupted wait no longer resumes us.
+            try:
+                target._callbacks.remove(self._resume)
+            except (ValueError, SimulationError):
+                pass
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick.add_callback(lambda _ev: self._step(Interrupt(cause)))
+        kick.succeed()
+
+    # -- kernel internals ------------------------------------------------
+
+    def _resume(self, ev: Event) -> None:
+        self._waiting_on = None
+        if ev._exc is not None:
+            self._step(ev._exc)
+        else:
+            self._step(None, ev._value)
+
+    def _step(self, exc: Optional[BaseException], value: Any = None) -> None:
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - process crashed
+            self.fail(err)
+            self.sim._note_crash(self, err)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            err = SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an Event"
+            )
+            self.fail(err)
+            self.sim._note_crash(self, err)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event loop: a time-ordered queue of triggered events."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._crashed: List = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- construction helpers ---------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run a plain callable after ``delay``; returns its trigger event."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    def all_of(self, events) -> Event:
+        """An event that fires when every event in ``events`` has fired."""
+        events = list(events)
+        done = self.event()
+        remaining = [len(events)]
+        if not events:
+            done.succeed([])
+            return done
+        values: List[Any] = [None] * len(events)
+
+        def make_cb(i):
+            def cb(ev: Event):
+                values[i] = ev._value
+                if ev._exc is not None and not done.triggered:
+                    done.fail(ev._exc)
+                    return
+                remaining[0] -= 1
+                if remaining[0] == 0 and not done.triggered:
+                    done.succeed(values)
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    def any_of(self, events) -> Event:
+        """An event that fires when the first of ``events`` fires."""
+        events = list(events)
+        done = self.event()
+        for ev in events:
+            def cb(e: Event):
+                if not done.triggered:
+                    if e._exc is not None:
+                        done.fail(e._exc)
+                    else:
+                        done.succeed(e._value)
+            ev.add_callback(cb)
+        return done
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time passes ``until``.
+
+        Returns the simulation time when execution stopped.  Raises the
+        first uncaught process exception, if any process crashed.
+        """
+        heap = self._heap
+        while heap:
+            when, _seq, ev = heap[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(heap)
+            self._now = when
+            ev._dispatch()
+            if self._crashed:
+                _proc, err = self._crashed[0]
+                raise err
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- kernel internals ----------------------------------------------------
+
+    def _push_triggered(self, ev: Event) -> None:
+        self._schedule_at(self._now, ev)
+
+    def _schedule_at(self, when: float, ev: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, ev))
+
+    def _note_crash(self, proc: Process, err: BaseException) -> None:
+        self._crashed.append((proc, err))

@@ -1,0 +1,141 @@
+"""Lightweight statistics helpers used across the simulator.
+
+The paper reports means, breakdown percentages and contention ratios;
+:class:`RunningStat` accumulates the moments those need without storing
+samples, and :class:`TimeBuckets` is the per-process execution-time
+breakdown accumulator behind Figure 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+__all__ = ["RunningStat", "TimeBuckets", "weighted_mean"]
+
+
+class RunningStat:
+    """Streaming count / mean / variance / min / max accumulator."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Combine two accumulators (Chan's parallel algorithm)."""
+        merged = RunningStat()
+        n = self.count + other.count
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged.count = n
+        merged.total = self.total + other.total
+        merged._mean = self._mean + delta * other.count / n
+        merged._m2 = (
+            self._m2 + other._m2
+            + delta * delta * self.count * other.count / n
+        )
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"RunningStat(n={self.count}, mean={self.mean:.3f}, "
+                f"min={self.min:.3f}, max={self.max:.3f})")
+
+
+# Execution-time bucket names, in the order Figure 3 stacks them.
+BUCKETS = ("compute", "data", "lock", "acqrel", "barrier")
+
+
+class TimeBuckets:
+    """Per-process execution-time breakdown (Figure 3 categories).
+
+    ``compute``  useful work including local memory stalls,
+    ``data``     blocked on remote page fetches,
+    ``lock``     blocked on mutual-exclusion lock acquires,
+    ``acqrel``   acquire/release primitives used purely for consistency,
+    ``barrier``  blocked at barriers (wait + barrier protocol work).
+    """
+
+    __slots__ = tuple(BUCKETS)
+
+    def __init__(self):
+        for name in BUCKETS:
+            setattr(self, name, 0.0)
+
+    def charge(self, bucket: str, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"negative charge {amount!r} to {bucket!r}")
+        setattr(self, bucket, getattr(self, bucket) + amount)
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, name) for name in BUCKETS)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in BUCKETS}
+
+    def fractions(self) -> Dict[str, float]:
+        tot = self.total
+        if tot <= 0:
+            return {name: 0.0 for name in BUCKETS}
+        return {name: getattr(self, name) / tot for name in BUCKETS}
+
+    @staticmethod
+    def average(buckets: List["TimeBuckets"]) -> "TimeBuckets":
+        """Mean breakdown across processes (as Figure 3 averages)."""
+        avg = TimeBuckets()
+        if not buckets:
+            return avg
+        for name in BUCKETS:
+            avg.charge(name, sum(getattr(b, name) for b in buckets)
+                       / len(buckets))
+        return avg
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}={getattr(self, n):.1f}" for n in BUCKETS)
+        return f"TimeBuckets({parts})"
+
+
+def weighted_mean(pairs: Iterable[tuple]) -> float:
+    """Mean of ``(value, weight)`` pairs; 0.0 when total weight is 0."""
+    num = 0.0
+    den = 0.0
+    for value, weight in pairs:
+        num += value * weight
+        den += weight
+    return num / den if den else 0.0

@@ -1,0 +1,128 @@
+"""Byte-accurate data plane for shared regions.
+
+The performance simulation carries abstract :class:`DiffShape` s (run
+and byte counts) because that is all the timing model needs.  This
+module is the *functional* counterpart: real page contents, real twins,
+real diffs applied to real home copies — the multiple-writer LRC data
+path one can actually read values out of.  It backs the correctness
+tests (including the multiple-writer merge property) and the
+``examples/functional_dsm.py`` demo.
+
+Semantics implemented:
+
+* each page has one authoritative **home copy**;
+* a node faults a page in by copying the home copy;
+* the first write in an interval makes a **twin**;
+* a flush word-diffs the page against its twin and applies the runs to
+  the home copy (the packed-diff and direct-diff wire formats carry the
+  same runs; see :mod:`repro.svm.diffs`);
+* concurrent writers to disjoint words merge cleanly at the home — the
+  multiple-writer guarantee LRC relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .diffs import apply_diff, compute_diff, diff_payload_bytes
+from .pages import SharedRegion
+
+__all__ = ["ConcreteStore"]
+
+
+class ConcreteStore:
+    """Per-node concrete page copies over one concrete region."""
+
+    def __init__(self, region: SharedRegion):
+        if not region.concrete or region.data is None:
+            raise ValueError(
+                f"region {region.name!r} was not allocated concrete=True")
+        self.region = region
+        #: (node, page_index) -> local copy
+        self._copies: Dict[Tuple[int, int], bytearray] = {}
+        #: (node, page_index) -> twin of the current interval
+        self._twins: Dict[Tuple[int, int], bytes] = {}
+        # Statistics.
+        self.fetches = 0
+        self.flushes = 0
+        self.bytes_flushed = 0
+
+    # ----------------------------------------------------------------- read
+
+    def home_copy(self, index: int) -> bytearray:
+        """The authoritative copy (mutate only through diffs)."""
+        return self.region.data[index]
+
+    def fetch(self, node: int, index: int) -> bytearray:
+        """Bring the home's current version into ``node``'s copy."""
+        self.region.check_index(index)
+        self.fetches += 1
+        copy = bytearray(self.region.data[index])
+        self._copies[(node, index)] = copy
+        return copy
+
+    def node_copy(self, node: int, index: int) -> bytearray:
+        """``node``'s local copy, faulting it in if absent."""
+        copy = self._copies.get((node, index))
+        if copy is None:
+            copy = self.fetch(node, index)
+        return copy
+
+    def read(self, node: int, index: int, offset: int,
+             length: int) -> bytes:
+        copy = self.node_copy(node, index)
+        if offset < 0 or offset + length > len(copy):
+            raise ValueError("read outside page")
+        return bytes(copy[offset:offset + length])
+
+    # ---------------------------------------------------------------- write
+
+    def write(self, node: int, index: int, offset: int,
+              data: bytes) -> None:
+        """Write into ``node``'s copy, twinning on first touch."""
+        copy = self.node_copy(node, index)
+        if offset < 0 or offset + len(data) > len(copy):
+            raise ValueError("write outside page")
+        key = (node, index)
+        if key not in self._twins:
+            self._twins[key] = bytes(copy)  # the twin
+        copy[offset:offset + len(data)] = data
+
+    def is_twinned(self, node: int, index: int) -> bool:
+        return (node, index) in self._twins
+
+    # ---------------------------------------------------------------- flush
+
+    def flush(self, node: int, index: int) -> List[Tuple[int, bytes]]:
+        """Diff against the twin, apply to the home copy, drop the twin.
+
+        Returns the runs that went over the (modelled) wire; an empty
+        list means the page was clean.
+        """
+        key = (node, index)
+        twin = self._twins.pop(key, None)
+        if twin is None:
+            return []
+        copy = self._copies[key]
+        diff = compute_diff(twin, bytes(copy))
+        apply_diff(self.region.data[index], diff)
+        self.flushes += 1
+        self.bytes_flushed += diff_payload_bytes(diff)
+        return diff
+
+    def flush_all(self, node: int) -> int:
+        """Flush every twinned page of ``node``; returns pages flushed."""
+        keys = [k for k in list(self._twins) if k[0] == node]
+        for _node, index in keys:
+            self.flush(node, index)
+        return len(keys)
+
+    # ----------------------------------------------------------- invalidate
+
+    def invalidate(self, node: int, index: int) -> None:
+        """Drop ``node``'s copy (a write-notice application)."""
+        key = (node, index)
+        if key in self._twins:
+            raise ValueError(
+                "invalidating a dirty page would lose writes; flush first")
+        self._copies.pop(key, None)

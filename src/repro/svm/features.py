@@ -1,0 +1,114 @@
+"""Protocol feature ladder: Base -> DW -> +RF -> +DD -> +NIL (GeNIMA).
+
+Section 3.3 evaluates four cumulative extensions of the interrupt-driven
+HLRC-SMP base protocol; each flag below removes interrupts from one
+aspect of the protocol:
+
+* ``direct_writes`` (DW)  — remote deposit updates remote protocol data
+  structures directly and write notices propagate eagerly at releases.
+* ``remote_fetch`` (RF)   — pages and their timestamps are pulled with
+  the NI remote-fetch operation (retry loop), no home interrupts.
+* ``direct_diffs`` (DD)   — diffs are computed at releases and each
+  contiguous run is deposited straight into the home copy.  Requires
+  RF: without home interrupts at diff application, only the
+  retry-based fetch can tell when a page is current (Section 2).
+* ``ni_locks`` (NIL)      — mutual exclusion moves into NI firmware.
+
+With all four, no interrupts or polling remain: GeNIMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProtocolFeatures", "BASE", "DW", "DW_RF", "DW_RF_DD",
+           "GENIMA", "GENIMA_SG", "GENIMA_MC", "GENIMA_PLUS",
+           "PROTOCOL_LADDER"]
+
+
+@dataclass(frozen=True)
+class ProtocolFeatures:
+    """Which NI mechanisms the protocol uses.
+
+    ``scatter_gather`` and ``ni_multicast`` are the Section 5
+    extensions the paper deliberately left out of its minimal set:
+    scatter-gather packs a page's scattered diff runs into one message
+    that the NIs pack/unpack (extra LANai occupancy instead of the
+    direct-diff message blow-up); NI multicast replicates write-notice
+    broadcasts inside the sending NI (one post and one source DMA
+    instead of N-1).
+    """
+
+    direct_writes: bool = False
+    remote_fetch: bool = False
+    direct_diffs: bool = False
+    ni_locks: bool = False
+    scatter_gather: bool = False
+    ni_multicast: bool = False
+
+    def __post_init__(self):
+        if self.direct_diffs and not self.remote_fetch:
+            raise ValueError(
+                "direct diffs require remote fetch: without home "
+                "interrupts only retried fetches detect stale pages")
+        if self.scatter_gather and not self.direct_diffs:
+            raise ValueError(
+                "scatter-gather is a variant of direct diffs; enable "
+                "direct_diffs too")
+        if self.ni_multicast and not self.direct_writes:
+            raise ValueError(
+                "NI multicast accelerates eager write-notice "
+                "propagation; enable direct_writes too")
+
+    @property
+    def name(self) -> str:
+        extensions = []
+        if self.scatter_gather:
+            extensions.append("SG")
+        if self.ni_multicast:
+            extensions.append("MC")
+        suffix = ("+" + "+".join(extensions)) if extensions else ""
+        if not any((self.direct_writes, self.remote_fetch,
+                    self.direct_diffs, self.ni_locks)):
+            return "Base" + suffix
+        if (self.direct_writes and self.remote_fetch
+                and self.direct_diffs and self.ni_locks):
+            return "GeNIMA" + suffix
+        parts = []
+        if self.direct_writes:
+            parts.append("DW")
+        if self.remote_fetch:
+            parts.append("RF")
+        if self.direct_diffs:
+            parts.append("DD")
+        if self.ni_locks:
+            parts.append("NIL")
+        return "+".join(parts) + suffix
+
+    @property
+    def interrupt_free(self) -> bool:
+        """True when no asynchronous protocol processing remains."""
+        return (self.direct_writes and self.remote_fetch
+                and self.direct_diffs and self.ni_locks)
+
+
+BASE = ProtocolFeatures()
+DW = ProtocolFeatures(direct_writes=True)
+DW_RF = ProtocolFeatures(direct_writes=True, remote_fetch=True)
+DW_RF_DD = ProtocolFeatures(direct_writes=True, remote_fetch=True,
+                            direct_diffs=True)
+GENIMA = ProtocolFeatures(direct_writes=True, remote_fetch=True,
+                          direct_diffs=True, ni_locks=True)
+#: GeNIMA plus the Section 5 extensions.
+GENIMA_SG = ProtocolFeatures(direct_writes=True, remote_fetch=True,
+                             direct_diffs=True, ni_locks=True,
+                             scatter_gather=True)
+GENIMA_MC = ProtocolFeatures(direct_writes=True, remote_fetch=True,
+                             direct_diffs=True, ni_locks=True,
+                             ni_multicast=True)
+GENIMA_PLUS = ProtocolFeatures(direct_writes=True, remote_fetch=True,
+                               direct_diffs=True, ni_locks=True,
+                               scatter_gather=True, ni_multicast=True)
+
+#: The five bars of Figures 2 and 3, in order.
+PROTOCOL_LADDER = [BASE, DW, DW_RF, DW_RF_DD, GENIMA]

@@ -1,0 +1,259 @@
+"""Interrupt-driven lock synchronization (the Base protocol's path).
+
+Section 2, "Network interface locks" describes the baseline this
+replaces: every lock has a home; an acquire sends a message to the
+home, whose *host processor* is interrupted to append the requester to
+a distributed list and forward the request to the last owner; the
+owner's host is interrupted again to hand the lock over.  Because
+protocol activity is coupled to the transfer, the owner-side handler
+also closes the current interval, computes and propagates the diffs
+(lazy diffing) and piggybacks the write notices on the grant message.
+
+Same-node re-acquisition is cheap: the last owner keeps the lock until
+another processor needs it, and HLRC-SMP exploits hardware coherence
+within the node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+from ..hw import Message
+
+__all__ = ["InterruptLockManager"]
+
+LOCK_REQ_BYTES = 32
+LOCK_FWD_BYTES = 32
+GRANT_BASE_BYTES = 64
+GRANT_PER_WN_BYTES = 8
+
+
+class _NodeToken:
+    """Lock token state in one node's host memory."""
+
+    __slots__ = ("present", "holder", "pending", "busy")
+
+    def __init__(self):
+        self.present = False
+        self.holder = None            # rank currently inside the lock
+        #: chain successors whose forwards reached this node (FIFO).
+        self.pending: deque = deque()
+        #: a release-triggered grant handler is queued/running.
+        self.busy = False
+
+
+class InterruptLockManager:
+    """Home + last-owner forwarding with host interrupts."""
+
+    def __init__(self, protocol):
+        self.proto = protocol
+        self.machine = protocol.machine
+        self.sim = protocol.sim
+        self.config = protocol.config
+        nodes = self.config.nodes
+        self._home_fn = lambda lock_id: lock_id % nodes
+        self._tail: Dict[int, int] = {}
+        self._tokens = [dict() for _ in range(nodes)]
+        self._host_waiters: Dict[Tuple[int, int], deque] = {}
+        # Statistics.
+        self.acquires = 0
+        self.local_fast_acquires = 0
+        self.remote_grants = 0
+        self.local_grants = 0
+
+    # -------------------------------------------------------------- helpers
+
+    def home_of(self, lock_id: int) -> int:
+        return self._home_fn(lock_id)
+
+    def _token(self, node: int, lock_id: int) -> _NodeToken:
+        return self._tokens[node].setdefault(lock_id, _NodeToken())
+
+    def _init_lock(self, lock_id: int) -> None:
+        home = self.home_of(lock_id)
+        self._token(home, lock_id).present = True
+        self._tail[lock_id] = home
+
+    # ------------------------------------------------------------ host side
+
+    def acquire(self, rank: int, lock_id: int):
+        """Generator: returns the releaser's vector clock (or None for a
+        transfer that stayed on this node)."""
+        if lock_id not in self._tail:
+            self._init_lock(lock_id)
+        self.acquires += 1
+        cfg = self.config
+        node_id = cfg.node_of(rank)
+        tok = self._token(node_id, lock_id)
+        if tok.present and tok.holder is None and not tok.pending \
+                and not tok.busy:
+            # The last owner keeps the lock: same-node re-acquisition
+            # through the node's hardware coherence, no messages.
+            self.local_fast_acquires += 1
+            tok.holder = rank
+            yield self.sim.timeout(cfg.protocol_op_us)
+            return None
+        ev = self.sim.event()
+        self._host_waiters.setdefault((node_id, lock_id),
+                                      deque()).append((rank, ev))
+        home = self.home_of(lock_id)
+        if home == node_id:
+            # In-node request to the protocol process: no interrupt,
+            # just a dispatch.
+            self.sim.process(
+                self._home_handler(lock_id, node_id, entry_delay=False),
+                name=f"lockhome.{lock_id}")
+        else:
+            def at_home(_msg):
+                self.sim.process(
+                    self._home_handler(lock_id, node_id, entry_delay=True),
+                    name=f"lockhome.{lock_id}")
+
+            yield from self.proto.vmmc.send(
+                node_id, home, LOCK_REQ_BYTES, kind="lock_req",
+                on_delivered=at_home)
+        ts = yield ev
+        yield self.sim.timeout(cfg.notify_us)
+        return ts
+
+    def release(self, rank: int, lock_id: int):
+        """Generator: mark the lock free; a queued transfer (if any) is
+        handed to the node's protocol process."""
+        node_id = self.config.node_of(rank)
+        tok = self._token(node_id, lock_id)
+        if tok.holder != rank:
+            raise AssertionError(
+                f"rank {rank} releasing lock {lock_id} held by "
+                f"{tok.holder}")
+        tok.holder = None
+        yield self.sim.timeout(self.config.protocol_op_us)
+        if tok.pending and not tok.busy:
+            tok.busy = True
+            self.sim.process(self._release_grant_handler(node_id, lock_id),
+                             name=f"lockrel.{lock_id}")
+
+    # -------------------------------------------------------- handler side
+
+    def _home_handler(self, lock_id: int, req_node: int, entry_delay: bool):
+        """Home-side handler: maintain the distributed list, forward."""
+        home = self.home_of(lock_id)
+        node = self.machine.nodes[home]
+
+        def body():
+            yield self.sim.timeout(self.config.protocol_op_us)
+            prev = self._tail[lock_id]
+            self._tail[lock_id] = req_node
+            if prev == home:
+                # The chain ends here: run the owner logic in the same
+                # handler activation.
+                yield from self._owner_logic(home, lock_id, req_node)
+            else:
+                def at_owner(_msg):
+                    self.sim.process(
+                        self._owner_handler(prev, lock_id, req_node),
+                        name=f"lockown.{lock_id}")
+
+                yield from self.proto.vmmc.send(
+                    home, prev, LOCK_FWD_BYTES, kind="lock_fwd",
+                    on_delivered=at_owner)
+
+        yield from node.handler(body(), entry_delay=entry_delay)
+
+    def _owner_handler(self, owner_node: int, lock_id: int, req_node: int):
+        """Owner-side interrupt handler for a forwarded request."""
+        node = self.machine.nodes[owner_node]
+
+        def body():
+            yield self.sim.timeout(self.config.protocol_op_us)
+            yield from self._owner_logic(owner_node, lock_id, req_node)
+
+        yield from node.handler(body())
+
+    def _release_grant_handler(self, node_id: int, lock_id: int):
+        """Dispatched by a release with a queued waiter: do the transfer."""
+        node = self.machine.nodes[node_id]
+        tok = self._token(node_id, lock_id)
+
+        def body():
+            if tok.pending and tok.present and tok.holder is None:
+                req_node = tok.pending.popleft()
+                yield from self._grant(node_id, lock_id, req_node)
+            else:
+                # nothing to transfer after all: drop the guard the
+                # release set when it scheduled us.
+                tok.busy = False
+
+        yield from node.handler(body(), entry_delay=False)
+
+    def _owner_logic(self, owner_node: int, lock_id: int, req_node: int):
+        tok = self._token(owner_node, lock_id)
+        if tok.present and tok.holder is None and not tok.pending \
+                and not tok.busy:
+            yield from self._grant(owner_node, lock_id, req_node)
+        else:
+            tok.pending.append(req_node)
+
+    def _grant(self, owner_node: int, lock_id: int, req_node: int):
+        """Transfer the lock; for remote transfers, close the interval,
+        flush diffs (lazy diffing) and size the grant message by the
+        write notices it must carry (Base) — exactly the asynchronous
+        protocol processing GeNIMA eliminates.
+
+        Holds the token's ``busy`` guard for its whole (yielding)
+        duration: between the decision to grant and the token actually
+        leaving, a local fast-path acquire must not be able to grab the
+        lock — that would put two processes inside it.
+        """
+        tok_guard = self._token(owner_node, lock_id)
+        tok_guard.busy = True
+        try:
+            yield from self._grant_body(owner_node, lock_id, req_node)
+        finally:
+            tok_guard.busy = False
+
+    def _grant_body(self, owner_node: int, lock_id: int, req_node: int):
+        proto = self.proto
+        if req_node == owner_node:
+            self.local_grants += 1
+            yield self.sim.timeout(self.config.protocol_op_us)
+            self._grant_arrived(req_node, lock_id, None)
+            return
+        # Close + flush on the owner's (interrupted) host processor.
+        interval = yield from proto.close_interval_timed(owner_node)
+        if interval is not None and proto.features.direct_writes:
+            yield from proto.broadcast_wns(owner_node, interval)
+        # Snapshot the timestamp BEFORE flushing: the flush yields, and
+        # another local process may close a fresh interval meanwhile.
+        # That interval's diffs are not flushed by this grant, so the
+        # grant must not advertise it — a requester could otherwise
+        # block on a diff that only flushes once the lock it is holding
+        # circulates (deadlock).
+        ts = proto.node_clock[owner_node].copy()
+        yield from proto.flush_pending(owner_node)
+        if proto.features.direct_writes:
+            wn_count = 0  # notices were deposited eagerly at releases
+        else:
+            have = proto.node_clock[req_node]
+            wn_count = len(proto.interval_log.notices_between(have, ts))
+        tok = self._token(owner_node, lock_id)
+        tok.present = False
+        self.remote_grants += 1
+        yield from proto.vmmc.send(
+            owner_node, req_node,
+            GRANT_BASE_BYTES + GRANT_PER_WN_BYTES * wn_count,
+            kind="lock_grant",
+            on_delivered=lambda _m: self._grant_arrived(
+                req_node, lock_id, ts))
+
+    def _grant_arrived(self, node_id: int, lock_id: int,
+                       ts: Optional[Any]) -> None:
+        tok = self._token(node_id, lock_id)
+        tok.present = True
+        waiters = self._host_waiters.get((node_id, lock_id))
+        if not waiters:
+            raise AssertionError(
+                f"grant of lock {lock_id} at node {node_id} with no waiter")
+        rank, ev = waiters.popleft()
+        tok.holder = rank
+        ev.succeed(ts)

@@ -1,0 +1,710 @@
+"""The HLRC-SMP protocol engine and its GeNIMA extensions.
+
+One class implements the whole protocol ladder of Section 3.3; a
+:class:`~repro.svm.features.ProtocolFeatures` value selects which NI
+mechanisms are used, from the interrupt-driven Base protocol to the
+fully synchronous GeNIMA.
+
+Application processes drive the engine through rank-level generator
+operations (``compute`` / ``read`` / ``write`` / ``lock`` / ``unlock``
+/ ``acquire_flag`` / ``release_flag`` / ``barrier``); every microsecond
+of simulated time is charged to one of the Figure 3 execution-time
+buckets, and mprotect / barrier-protocol time is tracked separately for
+Table 2.
+
+Protocol mechanics implemented here (see DESIGN.md for the mapping to
+the paper's text): per-node page tables and vector clocks, intervals
+and write notices, twin/diff bookkeeping with lazy (packed, interrupt
+applied) or eager (direct-deposit) flushing, eager write-notice
+broadcast, remote page fetch with the timestamp-check retry loop, and
+home-side version tracking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..hw import Machine
+from ..sim import TimeBuckets
+from ..vmmc import NILockManager, VMMC
+from .barriers import BarrierManager
+from .diffs import DiffShape
+from .features import ProtocolFeatures
+from .locks import InterruptLockManager
+from .mprotect import MprotectModel
+from .pages import (HomePage, NodePageTable, PageAccess, PageDirectory,
+                    SharedRegion)
+from .timestamps import Interval, IntervalLog, VectorClock
+
+__all__ = ["HLRCProtocol"]
+
+#: small protocol message sizes on the wire (bytes)
+PAGE_REQ_BYTES = 32
+PAGE_REPLY_EXTRA_BYTES = 32
+WN_BASE_BYTES = 24
+WN_PER_PAGE_BYTES = 8
+
+
+class HLRCProtocol:
+    """Home-based LRC for SMP clusters, with optional NI mechanisms."""
+
+    def __init__(self, machine: Machine, features: ProtocolFeatures,
+                 vmmc: Optional[VMMC] = None, num_locks: int = 1 << 16,
+                 tracer=None):
+        self.machine = machine
+        #: optional repro.sim.Tracer receiving protocol events.
+        self.tracer = tracer
+        self.sim = machine.sim
+        self.config = machine.config
+        self.features = features
+        self.vmmc = vmmc or VMMC(machine)
+        nodes = self.config.nodes
+
+        self.directory = PageDirectory(self.config)
+        self.mprotect = MprotectModel(self.config)
+        self.tables = [NodePageTable(n, self.config) for n in range(nodes)]
+        self.interval_log = IntervalLog(nodes)
+        #: per node: vector of interval indices whose notices are applied.
+        self.node_clock = [VectorClock(nodes) for _ in range(nodes)]
+        #: per node: latest broadcast interval received from each writer.
+        self.wn_received = [[0] * nodes for _ in range(nodes)]
+        self._wn_waiters: List[List[Tuple[int, int, object]]] = \
+            [[] for _ in range(nodes)]
+        #: per node: closed-but-unflushed intervals (lazy diffing).
+        self.pending_flush: List[List[Tuple[int, Dict[int, DiffShape]]]] = \
+            [[] for _ in range(nodes)]
+        self._homes: Dict[int, HomePage] = {}
+        self._flags: Dict[int, dict] = {}
+        self._home_waiters: Dict[int, List[Tuple[Dict[int, int], object]]] = {}
+        self._inflight_fetch: Dict[Tuple[int, int], object] = {}
+
+        # Synchronization managers.
+        if features.ni_locks:
+            self.ni_locks = NILockManager(self.vmmc, num_locks=num_locks)
+            self.svm_locks = None
+        else:
+            self.ni_locks = None
+            self.svm_locks = InterruptLockManager(self)
+        self.barriers = BarrierManager(self)
+
+        # Per-rank accounting.
+        total = self.config.total_procs
+        self.buckets: List[TimeBuckets] = [TimeBuckets() for _ in range(total)]
+        self.barrier_protocol_us = [0.0] * total
+
+        # Statistics.
+        self.page_fetches = 0
+        self.fetch_retries = 0
+        self.diffs_sent = 0
+        self.diff_runs_sent = 0
+        self.wn_messages = 0
+        self.home_allocations = 0
+        self.home_migrations = 0
+
+    def _trace(self, category: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, category, **fields)
+
+    # ------------------------------------------------------------- regions
+
+    def allocate(self, name: str, n_pages: int, home_policy: str = "blocked",
+                 home_fn=None, concrete: bool = False) -> SharedRegion:
+        """Allocate a shared region (and export homed pages for fetch)."""
+        region = self.directory.allocate(
+            name, n_pages, home_policy=home_policy, home_fn=home_fn,
+            concrete=concrete)
+        # With remote fetch only homes export their pages (Section 2's
+        # scalability argument); deposit-based transfer would require
+        # everyone to export everything.  First-touch pages are
+        # exported when their home is assigned.
+        for i in range(n_pages):
+            home = region.home_of(i)
+            if home is not None:
+                self.vmmc.exports.export(home, region.gid(i))
+        return region
+
+    def _ensure_home(self, gid: int, toucher_node: int) -> int:
+        """Resolve a page's home, assigning it on first touch.
+
+        The paper counts home-allocation requests among the infrequent
+        operations that are "not so critical for common-case system
+        performance"; the assignment itself is a small protocol action
+        folded into the triggering fault.
+        """
+        home = self.directory.home_of(gid)
+        if home is None:
+            region = self.directory.region_of(gid)
+            region.homes[gid - region.base] = toucher_node
+            self.vmmc.exports.export(toucher_node, gid)
+            self.home_allocations += 1
+            home = toucher_node
+        return home
+
+    def migrate_home(self, rank: int, region: SharedRegion, index: int):
+        """Generator: migrate a page's home to the caller's node.
+
+        Must be called at a quiescent point for the page (e.g. right
+        after a barrier): the protocol refuses to migrate a page with
+        parked requests, and in-flight diffs toward the old home are
+        the caller's responsibility to have flushed (a barrier does).
+        The authoritative copy is pulled from the old home and every
+        node's directory is updated with small deposits.
+        """
+        node_id = self.config.node_of(rank)
+        gid = region.gid(index)
+        old = self.directory.home_of(gid)
+        t0 = self.sim.now
+        if old == node_id:
+            return
+        if self._home_waiters.get(gid):
+            raise RuntimeError(
+                f"page {gid} has parked requests; migrate at a "
+                f"quiescent point")
+        if old is None:
+            self._ensure_home(gid, node_id)
+            yield self.sim.timeout(self.config.protocol_op_us)
+        else:
+            # Pull the authoritative copy and its version vector.
+            yield from self.vmmc.fetch(node_id, old,
+                                       self.config.page_size + 64)
+            region.homes[index] = node_id
+            self.vmmc.exports.export(node_id, gid)
+            # Tell everyone where the page now lives.
+            for other in range(self.config.nodes):
+                if other != node_id:
+                    yield from self.vmmc.send(node_id, other, 24,
+                                              kind="home_update")
+        self.tables[node_id].mark_valid(gid)
+        self.home_migrations += 1
+        self.buckets[rank].charge("data", self.sim.now - t0)
+
+    def _home(self, gid: int) -> HomePage:
+        hp = self._homes.get(gid)
+        if hp is None:
+            hp = HomePage()
+            self._homes[gid] = hp
+        return hp
+
+    # -------------------------------------------------------------- compute
+
+    def compute(self, rank: int, us: float, bus_intensity: float = 0.0):
+        """Local computation (includes local memory stalls)."""
+        node = self.machine.node_of(rank)
+        t = node.compute_time(us, bus_intensity)
+        t0 = self.sim.now
+        yield self.sim.timeout(t)
+        self.buckets[rank].charge("compute", self.sim.now - t0)
+
+    # ----------------------------------------------------------------- read
+
+    def read(self, rank: int, region: SharedRegion, indices):
+        """Access pages for reading; faults fetch them from their homes."""
+        node_id = self.config.node_of(rank)
+        table = self.tables[node_id]
+        t0 = self.sim.now
+        for idx in indices:
+            gid = region.gid(idx)
+            if table.access(gid) is PageAccess.INVALID:
+                yield from self._read_fault(rank, node_id, gid)
+        self.buckets[rank].charge("data", self.sim.now - t0)
+
+    def _read_fault(self, rank: int, node_id: int, gid: int):
+        cfg = self.config
+        table = self.tables[node_id]
+        self._trace("fault.read", rank=rank, gid=gid)
+        yield self.sim.timeout(cfg.page_fault_us)
+        # Another process of this node may already be fetching the page.
+        key = (node_id, gid)
+        inflight = self._inflight_fetch.get(key)
+        if inflight is not None:
+            yield inflight
+            return
+        done = self.sim.event()
+        self._inflight_fetch[key] = done
+        try:
+            needed = table.needed_versions(gid)
+            home = self._ensure_home(gid, node_id)
+            if home == node_id:
+                yield from self._wait_home_ready(gid, needed)
+            elif self.features.remote_fetch:
+                yield from self._fetch_rf(node_id, gid, home, needed)
+            else:
+                yield from self._fetch_base(node_id, gid, home, needed)
+            cost = self.mprotect.protect(node_id, [gid])
+            yield self.sim.timeout(cost)
+            table.mark_valid(gid)
+        finally:
+            del self._inflight_fetch[key]
+            done.succeed()
+
+    def _wait_home_ready(self, gid: int, needed: Dict[int, int]):
+        """Local read at the home: wait for outstanding diffs, if any."""
+        hp = self._home(gid)
+        if not hp.satisfies(needed):
+            ev = self.sim.event()
+            self._home_waiters.setdefault(gid, []).append((needed, ev))
+            yield ev
+        yield self.sim.timeout(self.config.protocol_op_us)
+
+    def _fetch_base(self, node_id: int, gid: int, home: int,
+                    needed: Dict[int, int]):
+        """Interrupt path: request message, home handler deposits page."""
+        self.page_fetches += 1
+        done = self.sim.event()
+
+        def at_home(_msg):
+            self.sim.process(
+                self._home_page_handler(gid, home, needed, node_id, done),
+                name=f"pagehdl.{gid}")
+
+        yield from self.vmmc.send(node_id, home, PAGE_REQ_BYTES,
+                                  kind="page_req", on_delivered=at_home)
+        yield done
+        yield self.sim.timeout(self.config.notify_us)
+
+    def _home_page_handler(self, gid: int, home: int,
+                           needed: Dict[int, int], requester: int, done):
+        """Home-side interrupt handler for a Base-protocol page request.
+
+        If the needed diff has not arrived yet, the request is parked
+        and the handler *exits* — it must not hold the node's (serial)
+        protocol process while waiting, or the diff-apply handler
+        queued behind it could never run.  The home processor knows
+        when diffs apply, so the parked request is re-dispatched then.
+        """
+        node = self.machine.nodes[home]
+        hp = self._home(gid)
+        entry_delay = True
+        while True:
+            served = [False]
+
+            def body():
+                yield self.sim.timeout(self.config.protocol_op_us)
+                if hp.satisfies(needed):
+                    served[0] = True
+                    yield from self.vmmc.send(
+                        home, requester,
+                        self.config.page_size + PAGE_REPLY_EXTRA_BYTES,
+                        kind="page_reply",
+                        on_delivered=lambda _m: done.succeed())
+
+            yield from node.handler(body(), entry_delay=entry_delay)
+            if served[0]:
+                return
+            ev = self.sim.event()
+            self._home_waiters.setdefault(gid, []).append((needed, ev))
+            yield ev
+            entry_delay = False  # re-dispatch, not a fresh interrupt
+
+    def _fetch_rf(self, node_id: int, gid: int, home: int,
+                  needed: Dict[int, int]):
+        """Remote-fetch path with the timestamp-check retry loop."""
+        cfg = self.config
+        hp = self._home(gid)
+        while True:
+            self.page_fetches += 1
+            reply = yield from self.vmmc.fetch(
+                node_id, home, cfg.page_size + 64,
+                on_served=hp.snapshot)
+            if HomePage.snapshot_satisfies(reply.payload, needed):
+                return
+            self.fetch_retries += 1
+            self._trace("fetch.retry", node=node_id, gid=gid)
+            yield self.sim.timeout(cfg.fetch_retry_backoff_us)
+
+    # ----------------------------------------------------------------- write
+
+    def write(self, rank: int, region: SharedRegion, indices,
+              runs_per_page: int = 1, bytes_per_page: Optional[int] = None):
+        """Write pages; first writes in an interval twin the page."""
+        cfg = self.config
+        node_id = cfg.node_of(rank)
+        table = self.tables[node_id]
+        if bytes_per_page is None:
+            bytes_per_page = cfg.page_size
+        shape = DiffShape(runs=runs_per_page,
+                          bytes_modified=max(bytes_per_page,
+                                             runs_per_page * 4))
+        t0 = self.sim.now
+        for idx in indices:
+            gid = region.gid(idx)
+            access = table.access(gid)
+            if access is PageAccess.INVALID:
+                yield from self._read_fault(rank, node_id, gid)
+                access = table.access(gid)
+            first = table.record_write(gid, shape)
+            if first:
+                # Write fault: open write access; non-home writers also
+                # twin the page.  The home writes its authoritative
+                # copy in place — HLRC needs no twin or diff there,
+                # only the write notice.
+                twin = 0.0 if self._ensure_home(gid, node_id) == node_id \
+                    else cfg.twin_us
+                cost = (cfg.page_fault_us + twin
+                        + self.mprotect.protect(node_id, [gid]))
+                table.write_faults += 1
+                yield self.sim.timeout(cost)
+        self.buckets[rank].charge("data", self.sim.now - t0)
+
+    # -------------------------------------------------- intervals & diffs
+
+    def close_interval(self, node_id: int) -> Optional[Interval]:
+        """Close the node's current interval, if it dirtied anything.
+
+        Returns the interval (its diffs go to ``pending_flush``); the
+        *caller* must pay the returned interval's write-protect cost via
+        :meth:`downgrade_cost` (kept separate so callers can charge the
+        right bucket) — in practice use :meth:`close_interval_timed`.
+        """
+        table = self.tables[node_id]
+        dirty = table.take_dirty()
+        if not dirty:
+            return None
+        index = self.interval_log.current_index(node_id) + 1
+        interval = Interval(node=node_id, index=index,
+                            pages=tuple(sorted(dirty)))
+        self._trace("interval.close", node=node_id, index=index,
+                    pages=len(dirty))
+        self.interval_log.append(interval)
+        self.node_clock[node_id][node_id] = index
+        self.pending_flush[node_id].append((index, dirty))
+        return interval
+
+    def close_interval_timed(self, node_id: int):
+        """Generator: close the interval and pay the write-protect cost."""
+        interval = self.close_interval(node_id)
+        if interval is not None:
+            cost = self.mprotect.protect(node_id, interval.pages)
+            yield self.sim.timeout(cost)
+        return interval
+
+    def flush_pending(self, node_id: int):
+        """Generator: propagate all closed-but-unflushed diffs to homes.
+
+        Runs on whatever simulated process calls it: the releasing
+        process (eager, GeNIMA) or a protocol handler servicing an
+        incoming acquire (lazy, Base) — the paper's central contrast.
+        """
+        pending, self.pending_flush[node_id] = \
+            self.pending_flush[node_id], []
+        for index, dirty in pending:
+            for gid in sorted(dirty):
+                yield from self._flush_page(node_id, gid, dirty[gid], index)
+
+    def _flush_page(self, node_id: int, gid: int, shape: DiffShape,
+                    index: int):
+        cfg = self.config
+        home = self.directory.home_of(gid)
+        self._trace("diff.flush", node=node_id, gid=gid, home=home,
+                    runs=shape.runs, bytes=shape.bytes_modified)
+        if home == node_id:
+            # Home writes land in place: no twin was made, so there is
+            # nothing to compare or send — just publish the version.
+            yield self.sim.timeout(cfg.protocol_op_us)
+            self._apply_at_home(gid, node_id, index)
+            return
+        # Compare the page with its twin.
+        yield self.sim.timeout(cfg.diff_scan_us)
+        if self.features.direct_diffs and self.features.scatter_gather:
+            # Section 5 scatter-gather: all runs ride one message whose
+            # packing/unpacking happens on the (slow) NIs — no host
+            # interrupt at the home, no message blow-up.
+            self.diffs_sent += 1
+            sg_us = cfg.ni_sg_per_run_us * shape.runs
+
+            def sg_landed(_msg):
+                self._apply_at_home(gid, node_id, index)
+
+            yield from self.vmmc.send(
+                node_id, home, shape.packed_message_bytes + 32,
+                kind="diff_sg", on_delivered=sg_landed,
+                extra_lanai_us=sg_us)
+        elif self.features.direct_diffs:
+            # One asynchronous deposit per contiguous run, straight
+            # into the home copy; the home processor never knows.
+            self.diff_runs_sent += shape.runs
+            remaining = [shape.runs]
+
+            def run_landed(_msg):
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    self._apply_at_home(gid, node_id, index)
+
+            for _run in range(shape.runs):
+                yield from self.vmmc.send(
+                    node_id, home, shape.run_message_bytes,
+                    kind="diff_run", on_delivered=run_landed)
+        else:
+            # Packed diff: one message, applied by an interrupt handler
+            # at the home.
+            self.diffs_sent += 1
+            yield self.sim.timeout(
+                cfg.diff_pack_per_kb_us * shape.bytes_modified / 1024.0)
+
+            def on_arrival(_msg):
+                self.sim.process(
+                    self._home_diff_handler(gid, home, node_id, index,
+                                            shape),
+                    name=f"diffhdl.{gid}")
+
+            yield from self.vmmc.send(
+                node_id, home, shape.packed_message_bytes + 32,
+                kind="diff", on_delivered=on_arrival)
+
+    def _home_diff_handler(self, gid: int, home: int, writer: int,
+                           index: int, shape: DiffShape):
+        node = self.machine.nodes[home]
+        apply_us = (self.config.diff_apply_per_kb_us
+                    * shape.bytes_modified / 1024.0
+                    + self.config.protocol_op_us)
+
+        def body():
+            yield self.sim.timeout(apply_us)
+            self._apply_at_home(gid, writer, index)
+
+        yield from node.handler(body())
+
+    def _apply_at_home(self, gid: int, writer: int, index: int) -> None:
+        hp = self._home(gid)
+        if hp.applied.get(writer, 0) < index:
+            hp.applied[writer] = index
+        waiters = self._home_waiters.get(gid)
+        if waiters:
+            still = []
+            for needed, ev in waiters:
+                if hp.satisfies(needed):
+                    ev.succeed()
+                else:
+                    still.append((needed, ev))
+            if still:
+                self._home_waiters[gid] = still
+            else:
+                del self._home_waiters[gid]
+
+    # ------------------------------------------------------- write notices
+
+    def broadcast_wns(self, node_id: int, interval: Interval):
+        """Generator: eagerly deposit the interval's write notices into
+        every other node's protocol data structures (the DW mechanism).
+        All sends are asynchronous small messages; with NI multicast
+        (Section 5) the sending NI replicates one posted descriptor."""
+        size = WN_BASE_BYTES + WN_PER_PAGE_BYTES * len(interval.pages)
+        others = [n for n in range(self.config.nodes) if n != node_id]
+        if not others:
+            return
+        if self.features.ni_multicast:
+            self.wn_messages += 1
+            yield from self.vmmc.send_multicast(
+                node_id, others, size, kind="wn",
+                on_packet_delivered=lambda pkt:
+                    self._wn_arrived(pkt.dst, interval))
+            return
+        for other in others:
+            self.wn_messages += 1
+            yield from self.vmmc.send(
+                node_id, other, size, kind="wn",
+                on_delivered=lambda _m, o=other: self._wn_arrived(o, interval))
+
+    def _wn_arrived(self, node_id: int, interval: Interval) -> None:
+        rec = self.wn_received[node_id]
+        if rec[interval.node] < interval.index:
+            rec[interval.node] = interval.index
+        waiters = self._wn_waiters[node_id]
+        if waiters:
+            still = []
+            for writer, want, ev in waiters:
+                if rec[writer] >= want:
+                    ev.succeed()
+                else:
+                    still.append((writer, want, ev))
+            self._wn_waiters[node_id] = still
+
+    def apply_incoming(self, rank: int, want: Optional[VectorClock]):
+        """Generator: make the acquiring node consistent up to ``want``.
+
+        With eager propagation (DW) the broadcast write notices may
+        still be in flight; per the paper, flags guarantee an interval's
+        invalidations have reached the node before they are applied —
+        modelled by waiting on the arrival events.  Then all pending
+        notices up to ``want`` are applied with coalesced mprotect.
+        """
+        if want is None:
+            return
+        node_id = self.config.node_of(rank)
+        if self.features.direct_writes:
+            for writer in range(self.config.nodes):
+                if writer == node_id:
+                    continue
+                if self.wn_received[node_id][writer] < want[writer]:
+                    ev = self.sim.event()
+                    self._wn_waiters[node_id].append(
+                        (writer, want[writer], ev))
+                    yield ev
+        have = self.node_clock[node_id]
+        if want.dominates(have) and want == have:
+            return
+        notices = self.interval_log.notices_between(have, want)
+        table = self.tables[node_id]
+        to_protect = []
+        for wn in notices:
+            if wn.node == node_id:
+                continue
+            is_home = self.directory.home_of(wn.page) == node_id
+            if table.invalidate(wn.page, wn.node, wn.interval,
+                                is_home=is_home):
+                to_protect.append(wn.page)
+        self.node_clock[node_id].merge(want)
+        cost = self.mprotect.protect(node_id, to_protect)
+        if cost > 0:
+            yield self.sim.timeout(cost)
+
+    # ------------------------------------------------------------ locks
+
+    def lock(self, rank: int, lock_id: int, bucket: str = "lock"):
+        """Generator: acquire a mutual-exclusion lock."""
+        t0 = self.sim.now
+        node_id = self.config.node_of(rank)
+        self._trace("lock.acquire", rank=rank, lock=lock_id)
+        if self.features.ni_locks:
+            ts = yield from self.ni_locks.acquire(node_id, lock_id)
+            yield from self.apply_incoming(rank, ts)
+        else:
+            ts = yield from self.svm_locks.acquire(rank, lock_id)
+            yield from self.apply_incoming(rank, ts)
+        self.buckets[rank].charge(bucket, self.sim.now - t0)
+
+    def unlock(self, rank: int, lock_id: int, bucket: str = "lock"):
+        """Generator: release a lock (a *release* in the LRC sense)."""
+        t0 = self.sim.now
+        node_id = self.config.node_of(rank)
+        self._trace("lock.release", rank=rank, lock=lock_id)
+        feats = self.features
+        if feats.ni_locks:
+            # Hybrid diff policy: skip the flush when the next waiter
+            # recorded at our NI is on this same node.
+            next_node = self.ni_locks.pending_waiter_node(node_id, lock_id)
+            if next_node != node_id:
+                interval = yield from self.close_interval_timed(node_id)
+                if interval is not None and feats.direct_writes:
+                    yield from self.broadcast_wns(node_id, interval)
+                # Snapshot before flushing (the flush yields; intervals
+                # closed meanwhile must not ride this timestamp), then
+                # flush: with NI locks no incoming acquire ever
+                # interrupts the host, so releases are the only place
+                # lock-ordered diffs can be propagated (Section 2).
+                ts = self.node_clock[node_id].copy()
+                yield from self.flush_pending(node_id)
+            else:
+                ts = self.node_clock[node_id].copy()
+            yield from self.ni_locks.release(node_id, lock_id, ts)
+        else:
+            if feats.direct_writes:
+                # Eager write-notice propagation at the release.
+                interval = yield from self.close_interval_timed(node_id)
+                if interval is not None:
+                    yield from self.broadcast_wns(node_id, interval)
+                    if feats.direct_diffs:
+                        yield from self.flush_pending(node_id)
+            yield from self.svm_locks.release(rank, lock_id)
+        self.buckets[rank].charge(bucket, self.sim.now - t0)
+
+    # Flag-style pairwise synchronization (consistency only, no mutual
+    # exclusion) — charged to the Acq/Rel bucket.  A release_flag is a
+    # *release* in the LRC sense: the interval closes, diffs flush, and
+    # a versioned flag word is deposited into every node; acquire_flag
+    # waits for the next version and applies the carried timestamp.
+
+    def _flag(self, flag_id: int) -> dict:
+        flag = self._flags.get(flag_id)
+        if flag is None:
+            nodes = self.config.nodes
+            flag = {
+                "version": 0,
+                "node_seen": [0] * nodes,
+                "node_ts": [None] * nodes,
+                "waiters": [[] for _ in range(nodes)],
+                "consumed": {},
+            }
+            self._flags[flag_id] = flag
+        return flag
+
+    def release_flag(self, rank: int, flag_id: int):
+        t0 = self.sim.now
+        node_id = self.config.node_of(rank)
+        flag = self._flag(flag_id)
+        interval = yield from self.close_interval_timed(node_id)
+        if interval is not None and self.features.direct_writes:
+            yield from self.broadcast_wns(node_id, interval)
+        # Snapshot before flushing (see unlock); flags must then flush
+        # eagerly in every mode: there is no later incoming acquire to
+        # trigger a lazy flush, and the consumer's page fetch would
+        # wait forever on the home version otherwise.
+        ts = self.node_clock[node_id].copy()
+        yield from self.flush_pending(node_id)
+        flag["version"] += 1
+        version = flag["version"]
+        self._flag_set(flag, node_id, version, ts)
+        for other in range(self.config.nodes):
+            if other == node_id:
+                continue
+            if self.features.direct_writes:
+                size = WN_BASE_BYTES
+            else:
+                have = self.node_clock[other]
+                size = WN_BASE_BYTES + WN_PER_PAGE_BYTES * len(
+                    self.interval_log.notices_between(have, ts))
+            yield from self.vmmc.send(
+                node_id, other, size, kind="flag",
+                on_delivered=lambda _m, o=other, v=version, t=ts:
+                    self._flag_set(flag, o, v, t))
+        self.buckets[rank].charge("acqrel", self.sim.now - t0)
+
+    def _flag_set(self, flag: dict, node_id: int, version: int,
+                  ts: VectorClock) -> None:
+        if flag["node_seen"][node_id] >= version:
+            return
+        flag["node_seen"][node_id] = version
+        flag["node_ts"][node_id] = ts
+        waiters = flag["waiters"][node_id]
+        if waiters:
+            still = []
+            for want, ev in waiters:
+                if version >= want:
+                    ev.succeed()
+                else:
+                    still.append((want, ev))
+            flag["waiters"][node_id] = still
+
+    def acquire_flag(self, rank: int, flag_id: int):
+        """Generator: wait for the next release of ``flag_id`` (relative
+        to what this rank has already consumed)."""
+        t0 = self.sim.now
+        node_id = self.config.node_of(rank)
+        flag = self._flag(flag_id)
+        want = flag["consumed"].get(rank, 0) + 1
+        if flag["node_seen"][node_id] < want:
+            ev = self.sim.event()
+            flag["waiters"][node_id].append((want, ev))
+            yield ev
+        flag["consumed"][rank] = max(flag["consumed"].get(rank, 0), want)
+        yield self.sim.timeout(self.config.notify_us)
+        ts = flag["node_ts"][node_id]
+        yield from self.apply_incoming(rank, ts)
+        self.buckets[rank].charge("acqrel", self.sim.now - t0)
+
+    # ------------------------------------------------------------- barrier
+
+    def barrier(self, rank: int):
+        """Generator: global barrier (see BarrierManager)."""
+        self._trace("barrier.enter", rank=rank)
+        yield from self.barriers.barrier(rank)
+        self._trace("barrier.exit", rank=rank)
+
+    # ------------------------------------------------------------- results
+
+    def breakdown(self, rank: int) -> TimeBuckets:
+        return self.buckets[rank]
+
+    @property
+    def total_interrupts(self) -> int:
+        return sum(n.interrupts_taken for n in self.machine.nodes)

@@ -1,0 +1,139 @@
+"""Vector timestamps, intervals and write notices (LRC machinery).
+
+Home-based lazy release consistency tracks causality with per-node
+*intervals*: a node's execution is cut into intervals at releases and
+barriers; each interval carries *write notices* (the pages the node
+modified in it).  A :class:`VectorClock` records, per node, the latest
+interval a process has (transitively) seen; acquiring a lock merges the
+releaser's clock and obliges the acquirer to apply all write notices up
+to the merged clock before touching shared data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["VectorClock", "WriteNotice", "Interval", "IntervalLog"]
+
+
+class VectorClock:
+    """A per-node interval counter vector."""
+
+    __slots__ = ("_v",)
+
+    def __init__(self, nodes: int = 0, values: Iterable[int] = None):
+        if values is not None:
+            self._v = list(values)
+        else:
+            self._v = [0] * nodes
+
+    @property
+    def values(self) -> Tuple[int, ...]:
+        return tuple(self._v)
+
+    def __len__(self) -> int:
+        return len(self._v)
+
+    def __getitem__(self, node: int) -> int:
+        return self._v[node]
+
+    def __setitem__(self, node: int, value: int) -> None:
+        if value < self._v[node]:
+            raise ValueError("vector clock entries never decrease")
+        self._v[node] = value
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(values=self._v)
+
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place."""
+        if len(other._v) != len(self._v):
+            raise ValueError("clock size mismatch")
+        self._v = [max(a, b) for a, b in zip(self._v, other._v)]
+
+    def merged(self, other: "VectorClock") -> "VectorClock":
+        out = self.copy()
+        out.merge(other)
+        return out
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True if self >= other pointwise."""
+        if len(other._v) != len(self._v):
+            raise ValueError("clock size mismatch")
+        return all(a >= b for a, b in zip(self._v, other._v))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VectorClock) and self._v == other._v
+
+    def __hash__(self):
+        return hash(tuple(self._v))
+
+    def __repr__(self) -> str:
+        return f"VectorClock({self._v})"
+
+
+@dataclass(frozen=True)
+class WriteNotice:
+    """Page ``page`` was modified by ``node`` during interval ``interval``."""
+
+    page: int
+    node: int
+    interval: int
+
+
+@dataclass
+class Interval:
+    """One closed interval of a node: its index and the pages it dirtied."""
+
+    node: int
+    index: int
+    pages: Tuple[int, ...]
+
+    def notices(self) -> List[WriteNotice]:
+        return [WriteNotice(page=p, node=self.node, interval=self.index)
+                for p in self.pages]
+
+
+class IntervalLog:
+    """Per-node history of closed intervals.
+
+    Used to answer "which write notices does a process at clock ``have``
+    lack, up to clock ``want``?" — the set a Base-protocol lock grant
+    must carry, or that a barrier exchange distributes.
+    """
+
+    def __init__(self, nodes: int):
+        self.nodes = nodes
+        self._log: List[List[Interval]] = [[] for _ in range(nodes)]
+
+    def append(self, interval: Interval) -> None:
+        log = self._log[interval.node]
+        expected = len(log) + 1
+        if interval.index != expected:
+            raise ValueError(
+                f"node {interval.node}: interval {interval.index} "
+                f"appended out of order (expected {expected})")
+        log.append(interval)
+
+    def current_index(self, node: int) -> int:
+        """Index of the last closed interval of ``node`` (0 if none)."""
+        return len(self._log[node])
+
+    def intervals_between(self, node: int, have: int,
+                          want: int) -> List[Interval]:
+        """Closed intervals of ``node`` with ``have < index <= want``."""
+        if want > len(self._log[node]):
+            raise ValueError(
+                f"node {node}: interval {want} not closed yet")
+        return self._log[node][have:want]
+
+    def notices_between(self, have: VectorClock,
+                        want: VectorClock) -> List[WriteNotice]:
+        """All write notices in the clock window ``(have, want]``."""
+        out: List[WriteNotice] = []
+        for node in range(self.nodes):
+            for interval in self.intervals_between(
+                    node, have[node], want[node]):
+                out.extend(interval.notices())
+        return out

@@ -1,0 +1,13 @@
+"""VMMC communication layer: remote deposit, remote fetch, NI locks."""
+
+from .api import ExportTable, VMMC
+from .locks import NILockManager
+from .monitor import PerfMonitor, StageRatios
+
+__all__ = [
+    "VMMC",
+    "ExportTable",
+    "NILockManager",
+    "PerfMonitor",
+    "StageRatios",
+]

@@ -1,0 +1,240 @@
+"""NI locks: mutual exclusion implemented in network-interface firmware.
+
+Section 2, "Network interface locks": every lock has a static home; the
+home NI maintains the tail of a distributed waiter list; requests are
+forwarded to the last owner, whose NI grants the lock when its host has
+released it.  *No host processor other than the requester is involved*,
+and lock traffic never enters the NI-to-host delivery FIFO, so it
+cannot get stuck behind data packets (the Water-nsquared fix).
+
+A protocol-managed timestamp travels with the lock as an opaque payload
+("the network interface does not need to perform any interpretation or
+operations on this timestamp").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Optional
+
+from ..hw import Message
+from ..hw.packet import Packet
+from .api import VMMC
+
+__all__ = ["NILockManager"]
+
+#: wire sizes: acquire/forward are one-word control ops; grants carry
+#: the protocol timestamp.
+ACQUIRE_BYTES = 16
+FORWARD_BYTES = 16
+GRANT_BYTES = 64
+
+
+class _Token:
+    """Per-lock state kept in one NI's memory."""
+
+    __slots__ = ("present", "held", "ts", "pending")
+
+    def __init__(self):
+        self.present = False
+        self.held = False           # host currently inside the lock
+        self.ts: Any = None          # opaque protocol timestamp
+        #: chain successors whose forwards have reached this NI; FIFO
+        #: (forwards all come from the home, in order).
+        self.pending: deque = deque()
+
+
+class NILockManager:
+    """Firmware lock queues across all NIs of one machine."""
+
+    def __init__(self, vmmc: VMMC, num_locks: int,
+                 home_fn: Optional[Callable[[int], int]] = None):
+        self.vmmc = vmmc
+        self.machine = vmmc.machine
+        self.sim = vmmc.sim
+        self.config = vmmc.config
+        self.num_locks = num_locks
+        nodes = self.config.nodes
+        self._home_fn = home_fn or (lambda lock_id: lock_id % nodes)
+        # Home-side list tails: tail[lock] = last requester node.
+        self._tail: Dict[int, int] = {}
+        # Per-NI token state: tokens[node][lock].
+        self._tokens = [dict() for _ in range(nodes)]
+        # Host-side waiters per (node, lock): FIFO of pending events.
+        self._host_waiters: Dict[tuple, deque] = {}
+        for nic in self.machine.nics:
+            nic.fw_handlers["lock_op"] = self._fw_lock_op
+        vmmc.lock_manager = self
+        # Statistics.
+        self.acquires = 0
+        self.remote_grants = 0
+        self.local_grants = 0
+
+    # ------------------------------------------------------------- topology
+
+    def home_of(self, lock_id: int) -> int:
+        home = self._home_fn(lock_id)
+        if not 0 <= home < self.config.nodes:
+            raise ValueError(f"lock {lock_id} home {home} out of range")
+        return home
+
+    def _token(self, node: int, lock_id: int) -> _Token:
+        return self._tokens[node].setdefault(lock_id, _Token())
+
+    def pending_waiter_node(self, node: int, lock_id: int):
+        """Node recorded as next-in-line at ``node``'s NI, or None.
+
+        The protocol's hybrid diff policy reads this at release time:
+        when the next waiter is on the same node, no diffs need to be
+        computed (Section 2, "Remote Deposit").
+        """
+        tok = self._tokens[node].get(lock_id)
+        if tok is None or not tok.pending:
+            return None
+        return tok.pending[0]
+
+    def init_lock(self, lock_id: int, ts: Any = None) -> None:
+        """Place the token at the lock's home, released, with ``ts``."""
+        home = self.home_of(lock_id)
+        tok = self._token(home, lock_id)
+        tok.present = True
+        tok.ts = ts
+        self._tail[lock_id] = home
+
+    # ----------------------------------------------------------- host side
+
+    def acquire(self, node: int, lock_id: int):
+        """Generator: acquire ``lock_id`` for a process on ``node``.
+
+        Returns the protocol timestamp carried by the grant.
+        """
+        if lock_id not in self._tail:
+            self.init_lock(lock_id)
+        self.acquires += 1
+        cfg = self.config
+        ev = self.sim.event()
+        self._host_waiters.setdefault((node, lock_id), deque()).append(ev)
+        # Doorbell the request into our own NI; the *firmware* decides
+        # atomically between a local re-grant ("the last owner keeps
+        # the lock until another processor needs it") and the home
+        # chain — deciding at the host would race with other local
+        # acquirers.
+        yield self.sim.timeout(cfg.post_overhead_us)
+        yield from self._lanai_op(node, self._acquire_doorbell,
+                                  node, lock_id)
+        ts = yield ev
+        yield self.sim.timeout(cfg.notify_us)
+        return ts
+
+    def _acquire_doorbell(self, node: int, lock_id: int) -> None:
+        """Firmware decision for a host acquire request."""
+        tok = self._token(node, lock_id)
+        home = self.home_of(lock_id)
+        if tok.present and not tok.held and not tok.pending:
+            self._grant(node, lock_id, node)
+        elif home == node:
+            self._home_acquire(node, lock_id, node)
+        else:
+            msg = Message(src=node, dst=home, size=ACQUIRE_BYTES,
+                          kind="lock_op", deliver_to_host=False,
+                          payload=("acquire", lock_id, node))
+            self.machine.nics[node].fw_send(msg)
+
+    def release(self, node: int, lock_id: int, ts: Any = None):
+        """Generator: release ``lock_id``, storing ``ts`` in the NI.
+
+        A purely local NI operation; if a waiter is queued at this NI
+        the firmware hands the lock over immediately.
+        """
+        yield self.sim.timeout(self.config.post_overhead_us)
+        yield from self._lanai_op(node, self._do_release, node, lock_id, ts)
+
+    def _lanai_op(self, node: int, fn, *args):
+        """Run a firmware action on ``node``'s LANai (host doorbell)."""
+        nic = self.machine.nics[node]
+        yield from nic.lanai.use(self.config.ni_lock_op_us)
+        fn(*args)
+
+    # -------------------------------------------------------- firmware side
+
+    def _fw_lock_op(self, pkt: Packet):
+        """Receive-path firmware handler for lock packets."""
+        op = pkt.message.payload
+        node = pkt.dst
+
+        def run():
+            yield self.sim.timeout(self.config.ni_lock_op_us)
+            kind = op[0]
+            if kind == "acquire":
+                _k, lock_id, requester = op
+                self._home_acquire(node, lock_id, requester)
+            elif kind == "forward":
+                _k, lock_id, requester = op
+                self._owner_forward(node, lock_id, requester)
+            elif kind == "grant":
+                _k, lock_id, ts = op
+                self._arrive_grant(node, lock_id, ts)
+            else:
+                raise ValueError(f"unknown lock op {kind!r}")
+
+        return run()
+
+    def _home_acquire(self, home: int, lock_id: int, requester: int) -> None:
+        """Home NI: append ``requester`` to the distributed list."""
+        if lock_id not in self._tail:
+            self.init_lock(lock_id)
+        prev = self._tail[lock_id]
+        self._tail[lock_id] = requester
+        if prev == home:
+            self._owner_forward(home, lock_id, requester)
+        else:
+            msg = Message(src=home, dst=prev, size=FORWARD_BYTES,
+                          kind="lock_op", deliver_to_host=False,
+                          payload=("forward", lock_id, requester))
+            self.machine.nics[home].fw_send(msg)
+
+    def _owner_forward(self, owner: int, lock_id: int,
+                       requester: int) -> None:
+        """Last-owner NI: grant now or remember the waiter."""
+        tok = self._token(owner, lock_id)
+        if tok.present and not tok.held and not tok.pending:
+            self._grant(owner, lock_id, requester)
+        else:
+            tok.pending.append(requester)
+
+    def _do_release(self, node: int, lock_id: int, ts: Any) -> None:
+        tok = self._token(node, lock_id)
+        if not (tok.present and tok.held):
+            raise AssertionError(
+                f"release of lock {lock_id} not held at node {node}")
+        tok.held = False
+        tok.ts = ts
+        if tok.pending:
+            self._grant(node, lock_id, tok.pending.popleft())
+
+    def _grant(self, owner: int, lock_id: int, requester: int) -> None:
+        tok = self._token(owner, lock_id)
+        ts = tok.ts
+        if requester == owner:
+            # Same-node handoff: token stays put.
+            self.local_grants += 1
+            self._arrive_grant(owner, lock_id, ts)
+            return
+        tok.present = False
+        tok.ts = None
+        self.remote_grants += 1
+        msg = Message(src=owner, dst=requester, size=GRANT_BYTES,
+                      kind="lock_op", deliver_to_host=False,
+                      payload=("grant", lock_id, ts))
+        self.machine.nics[owner].fw_send(msg)
+
+    def _arrive_grant(self, node: int, lock_id: int, ts: Any) -> None:
+        tok = self._token(node, lock_id)
+        tok.present = True
+        tok.held = True
+        tok.ts = ts
+        waiters = self._host_waiters.get((node, lock_id))
+        if not waiters:
+            raise AssertionError(
+                f"grant of lock {lock_id} at node {node} with no waiter")
+        waiters.popleft().succeed(ts)

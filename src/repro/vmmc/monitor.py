@@ -1,0 +1,121 @@
+"""Firmware performance monitor (Section 3.1 / Section 4).
+
+The paper's VMMC monitor gathers network packet-level data in the NI
+firmware and divides the sender-to-receiver path into four stages:
+
+* **SourceLatency** — send request visible in the NI request queue
+  until the packet's data is DMA'd into NI memory,
+* **LANaiLatency** — until the NI has inserted the packet into the
+  network,
+* **NetLatency** — end of SourceLatency until the receiving NI holds
+  the last word,
+* **DestLatency** — arrival at the destination NI until the DMA into
+  host memory completes (or, for firmware-consumed packets, until the
+  firmware has finished with them).
+
+Tables 3 and 4 report, per application, the ratio of the *average* time
+a packet spends in each stage to the *uncontended* time for that stage,
+split into small (<= 256 B) and large packets.  This module reproduces
+those measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..hw import Machine
+from ..hw.packet import Packet
+from ..sim import RunningStat
+
+__all__ = ["PerfMonitor", "StageRatios"]
+
+STAGES = ("source", "lanai", "net", "dest")
+
+
+@dataclass
+class StageRatios:
+    """Mean contention ratios per stage, one Tables-3/4 cell group."""
+
+    source: float
+    lanai: float
+    net: float
+    dest: float
+    packets: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"source": self.source, "lanai": self.lanai,
+                "net": self.net, "dest": self.dest}
+
+
+class PerfMonitor:
+    """Attachable packet-level monitor over every NI in the machine."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.config = machine.config
+        self._ratios = {
+            size_class: {stage: RunningStat() for stage in STAGES}
+            for size_class in ("small", "large")
+        }
+        self.packets_by_kind: Dict[str, int] = {}
+        self.bytes_by_kind: Dict[str, int] = {}
+        for nic in machine.nics:
+            nic.on_packet_done = self.record
+
+    # ---------------------------------------------------------------- record
+
+    def record(self, pkt: Packet) -> None:
+        cfg = self.config
+        size_class = "small" if pkt.is_small else "large"
+        stats = self._ratios[size_class]
+        self.packets_by_kind[pkt.kind] = \
+            self.packets_by_kind.get(pkt.kind, 0) + 1
+        self.bytes_by_kind[pkt.kind] = \
+            self.bytes_by_kind.get(pkt.kind, 0) + pkt.size
+
+        fw_consumed = not pkt.message.deliver_to_host
+        # Firmware-origin control packets (lock grants/forwards) have no
+        # host DMA at the source; their source stage is not comparable.
+        if not (pkt.fw_origin and fw_consumed):
+            src_ref = cfg.src_uncontended_us(pkt.size)
+            self._add(stats["source"], pkt.source_latency, src_ref)
+        self._add(stats["lanai"], pkt.lanai_latency,
+                  cfg.lanai_uncontended_us(pkt.size))
+        self._add(stats["net"], pkt.net_latency,
+                  cfg.net_uncontended_us(pkt.size))
+        if fw_consumed:
+            fw_cost = cfg.ni_lock_op_us if pkt.kind == "lock_op" \
+                else cfg.ni_fetch_setup_us
+            dest_ref = cfg.ni_proc_us + fw_cost
+        else:
+            dest_ref = cfg.dest_uncontended_us(pkt.size)
+        self._add(stats["dest"], pkt.dest_latency, dest_ref)
+
+    @staticmethod
+    def _add(stat: RunningStat, actual: float, reference: float) -> None:
+        if reference > 0 and actual >= 0:
+            stat.add(actual / reference)
+
+    # ---------------------------------------------------------------- report
+
+    def ratios(self, size_class: str) -> StageRatios:
+        """Mean per-stage contention ratios for small or large packets."""
+        if size_class not in self._ratios:
+            raise ValueError(f"size_class must be 'small' or 'large'")
+        stats = self._ratios[size_class]
+        return StageRatios(
+            source=stats["source"].mean,
+            lanai=stats["lanai"].mean,
+            net=stats["net"].mean,
+            dest=stats["dest"].mean,
+            packets=max(s.count for s in stats.values()) if stats else 0,
+        )
+
+    @property
+    def total_packets(self) -> int:
+        return sum(self.packets_by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_kind.values())

@@ -1,0 +1,117 @@
+"""Per-application protocol-behaviour assertions.
+
+Each SPLASH-2 model exists to exercise a specific sharing pattern; these
+tests pin the pattern itself (what traffic the app generates), not its
+performance — so an app edit that silently changes its character fails
+here before it skews the benchmark shapes.
+"""
+
+import pytest
+
+from repro.hw import MachineConfig
+from repro.runtime import SVMBackend, run_on_backend
+from repro.svm import BASE, GENIMA
+from repro.apps import (FFT, LU, Ocean, Radix, Raytrace, Volrend,
+                        BarnesOriginal, BarnesSpatial, WaterNsquared,
+                        WaterSpatial)
+
+
+def run(app, feats=GENIMA, **cfg):
+    backend = SVMBackend(MachineConfig(**cfg) if cfg else MachineConfig(),
+                         feats)
+    result = run_on_backend(app, backend, system=feats.name)
+    return result, backend.protocol
+
+
+def test_fft_fetches_but_never_diffs():
+    """FFT's transposes read remotely and write home-locally."""
+    result, proto = run(FFT(log2_n=12))
+    assert result.stats["page_fetches"] > 100
+    assert result.stats["diffs_sent"] == 0
+    assert result.stats["diff_runs_sent"] == 0
+    assert result.stats["lock_acquires"] == 0
+    assert result.mean_breakdown.lock == 0.0
+
+
+def test_lu_has_no_locks_and_many_barriers():
+    result, proto = run(LU(n=256, block=32))
+    assert result.stats["lock_acquires"] == 0
+    # three barriers per step
+    assert proto.barriers.crossings == 3 * (256 // 32) + 1  # +1 init
+
+
+def test_ocean_traffic_is_boundary_sized():
+    """Ocean fetches only neighbour boundaries, not whole bands."""
+    result, proto = run(Ocean(n=258, sweeps=6))
+    app = Ocean(n=258, sweeps=6)
+    band = app.total_pages() // 16
+    # fetched pages per sweep stay far below a band's worth per proc
+    assert result.stats["page_fetches"] < 6 * 16 * band / 2
+
+
+def test_water_nsquared_is_lock_dominated_traffic():
+    result, proto = run(WaterNsquared(molecules=256, steps=1))
+    n = 256
+    # per-molecule locking: each proc locks n/4 times per force phase
+    expected = 16 * (n // 2) // 2
+    assert result.stats["lock_acquires"] >= expected * 0.9
+
+
+def test_water_spatial_locks_are_sparse():
+    result, _ = run(WaterSpatial(molecules=1024, steps=2))
+    assert result.stats["lock_acquires"] < 16 * 2 * 10
+
+
+def test_radix_scatter_produces_remote_diff_floods():
+    result, proto = run(Radix(keys=1 << 15, passes=2))
+    # permutation writes dirty remotely-homed pages: diffs must flow
+    assert result.stats["diff_runs_sent"] > 200
+    # and the all-to-all causes heavy invalidation traffic
+    assert proto.mprotect.grand_total_us > 0
+
+
+def test_task_apps_steal_under_imbalance():
+    for cls in (Volrend, Raytrace):
+        app = cls(ntasks=128)
+        result, proto = run(app)
+        # stealing happened: queue locks were taken
+        assert result.stats["lock_acquires"] > 0, cls.name
+        assert sum(app._remaining) == 0
+
+
+def test_barnes_original_locks_and_scattered_tree_reads():
+    result, proto = run(BarnesOriginal(bodies=1024, steps=1))
+    assert result.stats["lock_acquires"] > 200
+    assert result.stats["page_fetches"] > 50
+
+
+def test_barnes_spatial_diff_blowup_is_runs_driven():
+    lo, _ = run(BarnesSpatial(bodies=2048, steps=1, scatter_runs=2))
+    hi, _ = run(BarnesSpatial(bodies=2048, steps=1, scatter_runs=30))
+    assert hi.stats["diff_runs_sent"] > 10 * lo.stats["diff_runs_sent"]
+
+
+def test_base_vs_genima_same_logical_work():
+    """Protocol choice must not change what the app does — only how
+    the coherence work is carried out."""
+    a, pa = run(WaterSpatial(molecules=1024, steps=1), BASE)
+    b, pb = run(WaterSpatial(molecules=1024, steps=1), GENIMA)
+    assert a.stats["lock_acquires"] == b.stats["lock_acquires"]
+    assert pa.barriers.crossings == pb.barriers.crossings
+    assert a.mean_breakdown.compute == pytest.approx(
+        b.mean_breakdown.compute, rel=1e-6)
+
+
+def test_apps_run_on_single_node_machine():
+    """nodes=1: everything is intra-node; no network traffic at all."""
+    result, proto = run(WaterSpatial(molecules=512, steps=1), GENIMA,
+                        nodes=1)
+    assert result.nprocs == 4
+    assert proto.machine.network.packets_carried == 0
+    assert result.stats["page_fetches"] == 0
+
+
+def test_apps_run_on_two_node_machine():
+    result, proto = run(Ocean(n=130, sweeps=3), GENIMA, nodes=2)
+    assert result.nprocs == 8
+    assert proto.machine.network.packets_carried > 0

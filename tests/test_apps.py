@@ -1,0 +1,181 @@
+"""Unit and structural tests for the application models."""
+
+import pytest
+
+from repro.apps import (APP_REGISTRY, PAPER_APPS, BarnesOriginal,
+                        BarnesSpatial, FFT, LU, Ocean, Radix, Raytrace,
+                        Volrend, WaterNsquared, WaterSpatial,
+                        pages_for_bytes)
+from repro.hw import MachineConfig
+from repro.runtime import LocalBackend, SVMBackend, run_on_backend
+from repro.svm import GENIMA
+
+
+# ---------------------------------------------------------------- registry
+
+def test_registry_covers_the_papers_table1():
+    assert set(PAPER_APPS) == set(APP_REGISTRY)
+    assert len(PAPER_APPS) == 10
+
+
+def test_all_apps_declare_paper_params():
+    for name, cls in APP_REGISTRY.items():
+        assert cls.paper_params, name
+        assert 0.0 <= cls.bus_intensity <= 1.0, name
+
+
+def test_pages_for_bytes():
+    assert pages_for_bytes(0) == 1
+    assert pages_for_bytes(1) == 1
+    assert pages_for_bytes(4096) == 1
+    assert pages_for_bytes(4097) == 2
+
+
+# ----------------------------------------------------------- layout logic
+
+def test_fft_rejects_odd_log2():
+    with pytest.raises(ValueError):
+        FFT(log2_n=15)
+    with pytest.raises(ValueError):
+        FFT(log2_n=6)
+
+
+def test_fft_block_pages_stay_in_owner_band():
+    app = FFT(log2_n=14)
+    backend = LocalBackend()
+    regions = app.setup(backend)
+    total = app.total_pages()
+    band = total // 16
+    for owner in range(16):
+        for reader in range(16):
+            pages = list(app._block_pages(regions["src"], owner, reader, 16))
+            assert pages, (owner, reader)
+            for p in pages:
+                assert owner * band <= p < total
+
+
+def test_lu_ownership_partitions_all_blocks():
+    app = LU(n=512, block=32)
+    owners = [app.owner(i, j, 16) for i in range(app.nblocks)
+              for j in range(app.nblocks)]
+    assert set(owners) == set(range(16))
+
+
+def test_lu_rejects_bad_block():
+    with pytest.raises(ValueError):
+        LU(n=1000, block=32)
+
+
+def test_lu_block_pages_distinct():
+    app = LU(n=512, block=32)
+    seen = set()
+    for bi in range(app.nblocks):
+        for bj in range(app.nblocks):
+            pages = set(app.block_pages(bi, bj))
+            assert not pages & seen
+            seen |= pages
+
+
+def test_ocean_boundaries_touch_neighbour_bands():
+    app = Ocean(n=258, sweeps=1)
+    total = app.total_pages()
+    per = total // 16
+    for rank in (0, 5, 15):
+        for p in app.boundary_pages(rank, 16):
+            assert 0 <= p < total
+            own = range(rank * per,
+                        total if rank == 15 else (rank + 1) * per)
+            assert p not in own
+    # interior ranks have two boundaries, edges one
+    assert len(app.boundary_pages(0, 16)) < len(app.boundary_pages(5, 16))
+
+
+def test_water_molecule_page_mapping_in_range():
+    app = WaterNsquared(molecules=1024)
+    total = app.total_pages()
+    for mol in (0, 511, 1023):
+        assert 0 <= app.mol_page(mol) < total
+
+
+def test_radix_scatter_pages_valid_and_interleaved():
+    app = Radix(keys=1 << 17)
+    total = app.key_pages()
+    for rank in (0, 7, 15):
+        pages = app.scatter_pages(rank, 16)
+        assert pages
+        assert all(0 <= p < total for p in pages)
+    # different ranks write overlapping (false-shared) page sets
+    a = set(app.scatter_pages(0, 16))
+    b = set(app.scatter_pages(1, 16))
+    assert a & b
+
+
+def test_task_queue_cost_functions_positive():
+    vol = Volrend(ntasks=64)
+    ray = Raytrace(ntasks=64)
+    for t in range(64):
+        assert vol.task_cost(t) > 0
+        assert ray.task_cost(t) > 0
+        assert all(0 <= p < vol.scene_pages
+                   for p in vol.scene_pages_for_task(t))
+        assert all(0 <= p < ray.scene_pages
+                   for p in ray.scene_pages_for_task(t))
+
+
+def test_volrend_center_tasks_cost_more():
+    vol = Volrend(ntasks=100)
+    assert vol.task_cost(50) > 2.0 * vol.task_cost(0)
+
+
+def test_barnes_spatial_pages_cover_region():
+    app = BarnesSpatial(bodies=4096)
+    total = app.body_pages()
+    covered = set()
+    for rank in range(16):
+        pages = app.spatial_pages(rank, 16)
+        assert all(0 <= p < total for p in pages)
+        covered |= set(pages)
+    # the interleaved boxes cover (nearly) the whole body array
+    assert len(covered) >= (total // 16) * 16
+
+
+# -------------------------------------------------------- end-to-end runs
+
+SMALL_APP_FACTORIES = [
+    lambda: FFT(log2_n=12),
+    lambda: LU(n=256, block=32),
+    lambda: Ocean(n=130, sweeps=4),
+    lambda: WaterNsquared(molecules=128, steps=1),
+    lambda: WaterSpatial(molecules=512, steps=1),
+    lambda: Radix(keys=1 << 14, passes=2),
+    lambda: Volrend(ntasks=64, volume_mb=1),
+    lambda: Raytrace(ntasks=64, scene_mb=1),
+    lambda: BarnesOriginal(bodies=512, steps=1),
+    lambda: BarnesSpatial(bodies=1024, steps=1),
+]
+SMALL_APP_IDS = [f().name for f in SMALL_APP_FACTORIES]
+
+
+@pytest.mark.parametrize("factory", SMALL_APP_FACTORIES, ids=SMALL_APP_IDS)
+def test_every_app_completes_under_genima(factory):
+    backend = SVMBackend(MachineConfig(), GENIMA)
+    result = run_on_backend(factory(), backend, system="GeNIMA")
+    assert result.time_us > 0
+    assert result.stats["interrupts"] == 0  # GeNIMA promise
+    # all 16 processes accumulated time
+    assert all(b.total > 0 for b in result.buckets)
+
+
+@pytest.mark.parametrize("factory", SMALL_APP_FACTORIES, ids=SMALL_APP_IDS)
+def test_every_app_runs_sequentially(factory):
+    from repro.runtime import run_sequential
+    result = run_sequential(factory())
+    assert result.time_us > 0
+    assert result.nprocs == 1
+
+
+def test_task_queue_executes_every_task_exactly_once():
+    app = Volrend(ntasks=96, volume_mb=1)
+    backend = SVMBackend(MachineConfig(), GENIMA)
+    run_on_backend(app, backend, system="GeNIMA")
+    assert sum(app._remaining) == 0

@@ -1,0 +1,56 @@
+"""CLI tests (in-process via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "FFT" in out and "GeNIMA" in out and "Barnes-spatial" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "--app", "Water-spatial",
+                 "--protocol", "GeNIMA"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "interrupts      : 0" in out
+
+
+def test_run_origin(capsys):
+    assert main(["run", "--app", "Water-spatial",
+                 "--protocol", "Origin"]) == 0
+    out = capsys.readouterr().out
+    assert "Origin" in out
+
+
+def test_run_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["run", "--app", "NotAnApp"])
+
+
+def test_ladder_command(capsys):
+    assert main(["ladder", "--app", "Water-spatial"]) == 0
+    out = capsys.readouterr().out
+    for name in ("Base", "DW", "DW+RF", "DW+RF+DD", "GeNIMA"):
+        assert name in out
+
+
+def test_calibrate_command(capsys):
+    assert main(["calibrate"]) == 0
+    out = capsys.readouterr().out
+    assert "one-way 1-word latency" in out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_nodes_option_changes_processor_count(capsys):
+    assert main(["run", "--app", "Water-spatial", "--protocol", "GeNIMA",
+                 "--nodes", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "32 processors" in out

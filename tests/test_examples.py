@@ -1,0 +1,43 @@
+"""Every example must run to completion as a script."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_protocol_ladder_example_accepts_app_argument():
+    script = next(p for p in EXAMPLES if p.name == "protocol_ladder.py")
+    proc = subprocess.run(
+        [sys.executable, str(script), "Water-spatial"],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "Water-spatial" in proc.stdout
+
+
+def test_protocol_ladder_example_rejects_unknown_app():
+    script = next(p for p in EXAMPLES if p.name == "protocol_ladder.py")
+    proc = subprocess.run(
+        [sys.executable, str(script), "NotAnApp"],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode != 0

@@ -1,0 +1,150 @@
+"""Tests for the experiment drivers (on reduced app subsets for speed)."""
+
+import pytest
+
+from repro.experiments import (CACHE, ExperimentCache, compute_figure1,
+                               compute_figure2, compute_figure4,
+                               compute_table1, compute_table2,
+                               compute_table34, format_table,
+                               measure_comm_layer, render_figure1,
+                               render_figure2, render_table1,
+                               render_table2, render_table34)
+from repro.svm import BASE, GENIMA
+
+FAST_APPS = ["Water-spatial", "Ocean-rowwise"]
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ExperimentCache()
+
+
+# ------------------------------------------------------------------- cache
+
+def test_cache_reuses_results(cache):
+    first = cache.svm("Water-spatial", GENIMA)
+    second = cache.svm("Water-spatial", GENIMA)
+    assert first is second
+
+
+def test_cache_distinguishes_protocols(cache):
+    base = cache.svm("Water-spatial", BASE)
+    genima = cache.svm("Water-spatial", GENIMA)
+    assert base is not genima
+    assert base.system == "Base"
+    assert genima.system == "GeNIMA"
+
+
+def test_cache_distinguishes_node_counts(cache):
+    sixteen = cache.svm("Water-spatial", GENIMA, nodes=4)
+    thirtytwo = cache.svm("Water-spatial", GENIMA, nodes=8)
+    assert sixteen.nprocs == 16
+    assert thirtytwo.nprocs == 32
+
+
+def test_cache_speedup_uses_sequential_baseline(cache):
+    result = cache.svm("Water-spatial", GENIMA)
+    assert cache.speedup("Water-spatial", result) == pytest.approx(
+        cache.seq("Water-spatial").time_us / result.time_us)
+
+
+# ------------------------------------------------------------------ figures
+
+def test_figure1_subset(cache):
+    data = compute_figure1(cache, apps=FAST_APPS)
+    assert set(data) == set(FAST_APPS)
+    for vals in data.values():
+        assert vals["Origin"] > vals["Base"] > 0
+    text = render_figure1(data)
+    assert "Origin" in text and "Water-spatial" in text
+
+
+def test_figure2_subset_has_full_ladder(cache):
+    data = compute_figure2(cache, apps=["Water-spatial"])
+    ladder = data["Water-spatial"]
+    assert list(ladder) == ["Base", "DW", "DW+RF", "DW+RF+DD", "GeNIMA"]
+    assert all(v > 0 for v in ladder.values())
+    assert "GeNIMA" in render_figure2(data)
+
+
+def test_figure4_subset(cache):
+    data = compute_figure4(cache, apps=FAST_APPS)
+    for vals in data.values():
+        assert {"Origin", "Base", "GeNIMA"} <= set(vals)
+
+
+# ------------------------------------------------------------------- tables
+
+def test_table1_subset(cache):
+    data = compute_table1(cache, apps=FAST_APPS)
+    for app, v in data.items():
+        assert v["uniproc_s"] > 0
+        assert isinstance(v["overall_pct"], float)
+    assert "Uniproc" in render_table1(data)
+
+
+def test_table2_subset(cache):
+    data = compute_table2(cache, apps=FAST_APPS)
+    for v in data.values():
+        assert 0 <= v["BT"] <= 100
+        assert 0 <= v["BPT"] <= 100
+        assert 0 <= v["MT"] <= 100
+    assert "BPT" in render_table2(data)
+
+
+def test_table34_subset(cache):
+    data = compute_table34(cache, apps=["Water-spatial"])
+    entry = data["Water-spatial"]
+    for size in ("small", "large"):
+        for system in ("Base", "GeNIMA"):
+            assert set(entry[size][system]) == {"source", "lanai",
+                                                "net", "dest"}
+    assert "Base/GeNIMA" in render_table34(data, "small")
+    with pytest.raises(ValueError):
+        render_table34(data, "medium")
+
+
+# --------------------------------------------------------------- reporting
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [("x", 1.5), ("long", 22.25)],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "1.50" in text and "22.25" in text
+    # all rows share the same width
+    assert len({len(line) for line in lines[1:]}) <= 2
+
+
+def test_calibration_keys():
+    comm = measure_comm_layer()
+    assert set(comm) == {"post_overhead_us", "one_word_latency_us",
+                         "bandwidth_mbps"}
+
+
+def test_traffic_profile_shows_protocol_transformation():
+    from repro.experiments import render_traffic, traffic_profile
+    base = traffic_profile("Water-spatial", BASE)
+    genima = traffic_profile("Water-spatial", GENIMA)
+    # Base uses the interrupt path: page requests/replies, lock
+    # requests/grants, packed diffs.
+    assert base["page_req"]["packets"] > 0
+    assert base["lock_req"]["packets"] > 0
+    assert base["diff"]["packets"] > 0
+    assert base.get("fetch_req", {"packets": 0})["packets"] == 0
+    # GeNIMA replaces every one of those with an NI mechanism.
+    assert genima.get("page_req", {"packets": 0})["packets"] == 0
+    assert genima["fetch_req"]["packets"] > 0
+    assert genima["lock_op"]["packets"] > 0
+    assert genima["diff_run"]["packets"] > 0
+    assert genima["wn"]["packets"] > 0
+    text = render_traffic({"Base": base, "GeNIMA": genima},
+                          "Water-spatial")
+    assert "fetch_req" in text
+
+
+def test_cli_traffic_command(capsys):
+    from repro.cli import main
+    assert main(["traffic", "--app", "Water-spatial"]) == 0
+    out = capsys.readouterr().out
+    assert "Traffic profile" in out

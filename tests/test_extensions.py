@@ -1,0 +1,197 @@
+"""Tests for the Section 5 NI extensions: scatter-gather & multicast."""
+
+import pytest
+
+from repro.hw import Machine, MachineConfig
+from repro.svm import (GENIMA, GENIMA_MC, GENIMA_PLUS, GENIMA_SG,
+                       HLRCProtocol, ProtocolFeatures)
+from repro.vmmc import VMMC
+
+
+# ---------------------------------------------------------------- features
+
+def test_extension_names():
+    assert GENIMA_SG.name == "GeNIMA+SG"
+    assert GENIMA_MC.name == "GeNIMA+MC"
+    assert GENIMA_PLUS.name == "GeNIMA+SG+MC"
+
+
+def test_scatter_gather_requires_direct_diffs():
+    with pytest.raises(ValueError):
+        ProtocolFeatures(direct_writes=True, remote_fetch=True,
+                         scatter_gather=True)
+
+
+def test_multicast_requires_direct_writes():
+    with pytest.raises(ValueError):
+        ProtocolFeatures(ni_multicast=True)
+
+
+# ---------------------------------------------------------- vmmc multicast
+
+def make_stack():
+    machine = Machine(MachineConfig())
+    return machine, VMMC(machine)
+
+
+def test_multicast_delivers_to_every_destination():
+    machine, vmmc = make_stack()
+    sim = machine.sim
+    arrived = []
+
+    def sender():
+        yield from vmmc.send_multicast(
+            0, [1, 2, 3], size=64, kind="wn",
+            on_packet_delivered=lambda pkt: arrived.append(pkt.dst))
+
+    sim.process(sender())
+    sim.run()
+    assert sorted(arrived) == [1, 2, 3]
+
+
+def test_multicast_single_source_dma():
+    """One host post and one source DMA regardless of fan-out."""
+    machine, vmmc = make_stack()
+    sim = machine.sim
+
+    def sender():
+        yield from vmmc.send_multicast(0, [1, 2, 3], size=4096)
+
+    before = machine.nics[0].pci.total_bytes
+    sim.process(sender())
+    sim.run()
+    dma_bytes = machine.nics[0].pci.total_bytes - before
+    assert dma_bytes == 4096          # not 3 x 4096
+    assert machine.nics[0].packets_sent == 3
+
+
+def test_multicast_excludes_sender_and_rejects_empty():
+    machine, vmmc = make_stack()
+    sim = machine.sim
+    arrived = []
+
+    def sender():
+        yield from vmmc.send_multicast(
+            1, [0, 1, 2], size=32,
+            on_packet_delivered=lambda pkt: arrived.append(pkt.dst))
+
+    sim.process(sender())
+    sim.run()
+    assert sorted(arrived) == [0, 2]
+
+    def bad():
+        yield from vmmc.send_multicast(1, [1], size=32)
+
+    sim.process(bad())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_multicast_on_delivered_fires_once_after_all():
+    machine, vmmc = make_stack()
+    sim = machine.sim
+    events = []
+
+    def sender():
+        yield from vmmc.send_multicast(
+            0, [1, 2, 3], size=64,
+            on_packet_delivered=lambda pkt: events.append("pkt"),
+            on_delivered=lambda msg: events.append("all"))
+
+    sim.process(sender())
+    sim.run()
+    assert events == ["pkt", "pkt", "pkt", "all"]
+
+
+def test_extra_lanai_cost_slows_sg_messages():
+    machine, vmmc = make_stack()
+    sim = machine.sim
+    t = {}
+
+    def sender(label, extra):
+        t0 = sim.now
+        yield from vmmc.send(0, 1, size=512, await_delivery=True,
+                             extra_lanai_us=extra)
+        t[label] = sim.now - t0
+
+    def run_both():
+        yield sim.process(sender("plain", 0.0))
+        yield sim.timeout(100.0)
+        yield sim.process(sender("sg", 24.0))
+
+    sim.process(run_both())
+    sim.run()
+    # the SG message pays the pack cost at the sender and the unpack
+    # cost at the receiver
+    assert t["sg"] == pytest.approx(t["plain"] + 48.0, abs=1.0)
+
+
+# ------------------------------------------------------- protocol behaviour
+
+def run_workers(machine, workers):
+    done = []
+
+    def wrap(g, i):
+        yield from g
+        done.append(i)
+
+    for i, g in enumerate(workers):
+        machine.sim.process(wrap(g, i))
+    machine.run()
+    assert len(done) == len(workers)
+
+
+def scattered_write_workload(proto, region):
+    def writer(rank):
+        yield from proto.write(rank, region, [rank], runs_per_page=20,
+                               bytes_per_page=800)
+        yield from proto.barrier(rank)
+
+    return [writer(r) for r in range(16)]
+
+
+def test_scatter_gather_sends_one_message_per_page():
+    machine = Machine(MachineConfig())
+    proto = HLRCProtocol(machine, GENIMA_SG)
+    region = proto.allocate("a", 16, home_policy="custom",
+                            home_fn=lambda i: (i // 4 + 1) % 4)
+    run_workers(machine, scattered_write_workload(proto, region))
+    assert proto.diff_runs_sent == 0
+    assert proto.diffs_sent == 16  # one SG message per remote page
+    # still zero interrupts: SG diffs land by DMA, no home handler
+    assert proto.total_interrupts == 0
+
+
+def test_scatter_gather_keeps_home_copies_current():
+    machine = Machine(MachineConfig())
+    proto = HLRCProtocol(machine, GENIMA_SG)
+    region = proto.allocate("a", 4, home_policy="node:2")
+    run_workers(machine, [
+        _write_then_barrier(proto, 0, region),
+        *[_barrier_only(proto, r) for r in range(1, 16)],
+    ])
+    assert proto._homes[region.gid(0)].applied.get(0, 0) >= 1
+
+
+def _write_then_barrier(proto, rank, region):
+    yield from proto.write(rank, region, [0], runs_per_page=8,
+                           bytes_per_page=320)
+    yield from proto.barrier(rank)
+
+
+def _barrier_only(proto, rank):
+    yield from proto.barrier(rank)
+
+
+def test_multicast_wn_broadcast_counts():
+    machine = Machine(MachineConfig())
+    proto = HLRCProtocol(machine, GENIMA_MC)
+    region = proto.allocate("a", 16)
+    run_workers(machine, scattered_write_workload(proto, region))
+    # one multicast descriptor per interval instead of nodes-1 sends
+    assert proto.wn_messages == 4  # one per node's barrier interval
+    # every node still received every other node's notices
+    for node in range(4):
+        for writer in range(4):
+            if writer != node:
+                assert proto.wn_received[node][writer] >= 1, (node, writer)

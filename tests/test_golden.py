@@ -1,0 +1,31 @@
+"""Golden regression guards on headline numbers.
+
+Loose bands around the currently-calibrated results; a change that
+moves these likely recalibrates the whole reproduction and should be
+made deliberately (then update these bands and EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import BASE, GENIMA, run_sequential, run_svm, speedup
+from repro.apps import WaterNsquared, WaterSpatial
+
+
+def test_water_spatial_genima_speedup_band():
+    seq = run_sequential(WaterSpatial())
+    result = run_svm(WaterSpatial(), GENIMA)
+    assert speedup(seq, result) == pytest.approx(9.9, rel=0.15)
+
+
+def test_water_nsquared_improvement_band():
+    seq = run_sequential(WaterNsquared(molecules=512, steps=1))
+    base = run_svm(WaterNsquared(molecules=512, steps=1), BASE)
+    genima = run_svm(WaterNsquared(molecules=512, steps=1), GENIMA)
+    gain = base.time_us / genima.time_us - 1.0
+    # NI locks buy a substantial fraction on the lock-heavy app
+    assert 0.3 < gain < 2.0, gain
+
+
+def test_sequential_times_are_stable():
+    seq = run_sequential(WaterSpatial())
+    assert seq.time_us == pytest.approx(426_000, rel=0.05)

@@ -1,0 +1,180 @@
+"""Unit tests for Node, Machine, Network and packet mechanics."""
+
+import pytest
+
+from repro.hw import Machine, MachineConfig, Message
+from repro.hw.packet import Packet
+from repro.sim import Simulator
+
+
+# -------------------------------------------------------------------- node
+
+def test_compute_time_inflates_with_bus_intensity():
+    machine = Machine()
+    node = machine.nodes[0]
+    base = node.compute_time(100.0, bus_intensity=0.0)
+    hot = node.compute_time(100.0, bus_intensity=1.0)
+    assert base == pytest.approx(100.0)
+    cfg = machine.config
+    assert hot == pytest.approx(
+        100.0 * (1 + cfg.bus_contention_factor * 3))
+
+
+def test_compute_time_validates_inputs():
+    node = Machine().nodes[0]
+    with pytest.raises(ValueError):
+        node.compute_time(-1.0)
+    with pytest.raises(ValueError):
+        node.compute_time(1.0, bus_intensity=1.5)
+
+
+def test_interrupt_entry_delay_is_positive_and_jittered():
+    node = Machine().nodes[0]
+    delays = [node.interrupt_entry_delay() for _ in range(50)]
+    cfg = node.config
+    floor = cfg.interrupt_us + cfg.handler_dispatch_us
+    assert all(d >= floor for d in delays)
+    assert len(set(delays)) > 10  # jitter varies
+
+
+def test_interrupt_jitter_is_deterministic_per_seed():
+    a = Machine(MachineConfig(seed=7)).nodes[0]
+    b = Machine(MachineConfig(seed=7)).nodes[0]
+    assert [a.interrupt_entry_delay() for _ in range(10)] \
+        == [b.interrupt_entry_delay() for _ in range(10)]
+
+
+def test_handlers_serialize_on_protocol_process():
+    machine = Machine(MachineConfig(sched_jitter_us=0.0))
+    node = machine.nodes[0]
+    sim = machine.sim
+    spans = []
+
+    def handler(tag):
+        t0 = sim.now
+        yield from node.run_handler(50.0)
+        spans.append((tag, t0, sim.now))
+
+    for i in range(3):
+        sim.process(handler(i))
+    sim.run()
+    # each activation costs entry + 50us service and they serialize
+    per = machine.config.interrupt_us \
+        + machine.config.handler_dispatch_us + 50.0
+    ends = sorted(end for _t, _s, end in spans)
+    assert ends[1] - ends[0] == pytest.approx(per)
+    assert node.interrupts_taken == 3
+
+
+def test_handler_without_entry_delay_pays_dispatch_only():
+    machine = Machine(MachineConfig(sched_jitter_us=0.0))
+    node = machine.nodes[0]
+    sim = machine.sim
+    t_end = []
+
+    def run():
+        yield from node.run_handler(10.0, entry_delay=False)
+        t_end.append(sim.now)
+
+    sim.process(run())
+    sim.run()
+    assert t_end[0] == pytest.approx(
+        machine.config.handler_dispatch_us + 10.0)
+    assert node.interrupts_taken == 0
+
+
+# ----------------------------------------------------------------- machine
+
+def test_machine_builds_requested_topology():
+    machine = Machine(MachineConfig(nodes=8))
+    assert len(machine.nodes) == 8
+    assert len(machine.nics) == 8
+    assert machine.network.node_ids == list(range(8))
+
+
+def test_machine_node_and_nic_of_rank():
+    machine = Machine()
+    assert machine.node_of(5) is machine.nodes[1]
+    assert machine.nic_of(15) is machine.nics[3]
+
+
+def test_network_rejects_duplicate_attach():
+    machine = Machine()
+    with pytest.raises(ValueError):
+        machine.network.attach(0, machine.nics[0])
+
+
+def test_network_rejects_loopback_packet():
+    machine = Machine()
+    msg = Message(src=0, dst=0, size=8)
+    pkt = Packet(message=msg, size=8, index=0, is_last=True)
+    with pytest.raises(ValueError):
+        machine.network.deliver(pkt)
+
+
+# ------------------------------------------------------------------ packet
+
+def test_message_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, size=-1)
+
+
+def test_message_rejects_nondeposit_loopback():
+    with pytest.raises(ValueError):
+        Message(src=1, dst=1, size=8, kind="fetch_req")
+
+
+def test_multicast_validation():
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, size=8, multicast_dsts=(0, 1))
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, size=8, multicast_dsts=(1, 1))
+
+
+def test_packet_stage_latencies():
+    msg = Message(src=0, dst=1, size=100)
+    pkt = Packet(message=msg, size=100, index=0, is_last=True)
+    pkt.t_enqueue = 10.0
+    pkt.t_src_done = 14.0
+    pkt.t_injected = 20.0
+    pkt.t_net_arrival = 21.0
+    pkt.t_delivered = 30.0
+    assert pkt.source_latency == pytest.approx(4.0)
+    assert pkt.lanai_latency == pytest.approx(6.0)
+    assert pkt.net_latency == pytest.approx(7.0)
+    assert pkt.dest_latency == pytest.approx(9.0)
+
+
+def test_packet_small_classification():
+    msg = Message(src=0, dst=1, size=5000)
+    small = Packet(message=msg, size=256, index=0, is_last=False)
+    large = Packet(message=msg, size=257, index=1, is_last=True)
+    assert small.is_small and not large.is_small
+
+
+def test_packet_dst_override_for_multicast():
+    msg = Message(src=0, dst=1, size=8, multicast_dsts=(1, 2))
+    pkt = Packet(message=msg, size=8, index=0, is_last=True, dst_node=2)
+    assert pkt.dst == 2
+
+
+# -------------------------------------------------------------- NI queues
+
+def test_post_queue_depth_respected():
+    machine = Machine(MachineConfig(post_queue_len=4))
+    nic = machine.nics[0]
+    assert nic.post_queue.capacity == 4
+
+
+def test_unknown_fw_kind_raises():
+    machine = Machine()
+    sim = machine.sim
+    msg = Message(src=0, dst=1, size=8, kind="mystery",
+                  deliver_to_host=False)
+
+    def sender():
+        yield machine.nics[0].post(msg)
+
+    sim.process(sender())
+    with pytest.raises(LookupError):
+        sim.run()

@@ -1,0 +1,180 @@
+"""Tests for the runtime layer: contexts, backends, runner, results."""
+
+import pytest
+
+from repro.apps import Application
+from repro.hw import MachineConfig
+from repro.runtime import (LocalBackend, ParallelContext, RunResult,
+                           SVMBackend, run_on_backend, run_sequential,
+                           run_svm, speedup)
+from repro.sim import TimeBuckets
+from repro.svm import BASE, GENIMA
+
+
+class TinyApp(Application):
+    """Minimal app: compute, one shared write, one barrier."""
+
+    name = "tiny"
+    bus_intensity = 0.1
+
+    def __init__(self, work_us: float = 100.0):
+        self.work_us = work_us
+
+    def setup(self, backend):
+        return {"r": backend.allocate("tiny.r", 16)}
+
+    def process(self, ctx, regions):
+        # fixed total work, divided among the processes
+        yield from ctx.compute(self.work_us / ctx.nprocs)
+        yield from ctx.write(regions["r"], [ctx.rank % 16])
+        yield from ctx.barrier()
+
+
+# ------------------------------------------------------------------ context
+
+def test_my_slice_partitions_exactly():
+    backend = LocalBackend()
+    for n in (16, 17, 100, 5):
+        covered = []
+        for rank in range(16):
+            ctx = ParallelContext(backend, rank, 16)
+            start, stop = ctx.my_slice(n)
+            covered.extend(range(start, stop))
+        assert covered == list(range(n)), n
+
+
+def test_my_items_matches_my_slice():
+    ctx = ParallelContext(LocalBackend(), 3, 16)
+    assert list(ctx.my_items(100)) == list(range(*ctx.my_slice(100)))
+
+
+def test_context_uses_app_bus_intensity_by_default():
+    calls = []
+
+    class Spy(LocalBackend):
+        def op_compute(self, rank, us, bus_intensity):
+            calls.append(bus_intensity)
+            return super().op_compute(rank, us, bus_intensity)
+
+    ctx = ParallelContext(Spy(), 0, 1, bus_intensity=0.7)
+    gen = ctx.compute(10.0)
+    assert calls == [0.7]
+    gen2 = ctx.compute(10.0, bus_intensity=0.1)
+    assert calls == [0.7, 0.1]
+
+
+# ----------------------------------------------------------------- backends
+
+def test_local_backend_ops_are_free():
+    backend = LocalBackend()
+    region = backend.allocate("x", 4)
+    sim = backend.sim
+    done = []
+
+    def proc():
+        yield from backend.op_compute(0, 50.0, 0.9)
+        yield from backend.op_read(0, region, [0, 1])
+        yield from backend.op_write(0, region, [2], 1, None)
+        yield from backend.op_lock(0, 5)
+        yield from backend.op_unlock(0, 5)
+        yield from backend.op_barrier(0)
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done[0] == pytest.approx(50.0)  # only compute advanced time
+
+
+def test_local_backend_bounds_checks_regions():
+    backend = LocalBackend()
+    region = backend.allocate("x", 4)
+    with pytest.raises(IndexError):
+        backend.op_read(0, region, [4])
+
+
+def test_svm_backend_wires_monitor_and_protocol():
+    backend = SVMBackend(MachineConfig(), GENIMA)
+    assert backend.monitor is not None
+    assert backend.protocol.features.ni_locks
+    assert backend.nprocs == 16
+
+
+# ------------------------------------------------------------------- runner
+
+def test_run_on_backend_produces_complete_result():
+    result = run_svm(TinyApp(), BASE)
+    assert isinstance(result, RunResult)
+    assert result.system == "Base"
+    assert result.nprocs == 16
+    assert result.time_us > 0
+    assert len(result.buckets) == 16
+    assert result.monitor_small is not None
+    assert "interrupts" in result.stats
+
+
+def test_runner_resets_accounting_after_init():
+    """Init-phase work (cold faults) must not appear in breakdowns."""
+
+    class ColdApp(TinyApp):
+        name = "cold"
+
+        def init_process(self, ctx, regions):
+            yield from ctx.read(regions["r"], range(16))  # cold faults
+
+        def process(self, ctx, regions):
+            yield from ctx.compute(10.0, bus_intensity=0.0)
+
+    result = run_svm(ColdApp(), BASE)
+    mean = result.mean_breakdown
+    # only the timed compute (plus negligible sync skew) remains
+    assert mean.data < 1.0
+    assert mean.compute == pytest.approx(10.0, rel=0.2)
+
+
+def test_sequential_baseline_is_full_work():
+    seq100 = run_sequential(TinyApp(work_us=100.0))
+    seq200 = run_sequential(TinyApp(work_us=200.0))
+    assert seq200.time_us == pytest.approx(2 * seq100.time_us, rel=0.01)
+
+
+def test_speedup_definition():
+    seq = run_sequential(TinyApp(work_us=1000.0))
+    par = run_svm(TinyApp(work_us=1000.0), GENIMA)
+    s = speedup(seq, par)
+    assert 0 < s <= 16.5
+    with pytest.raises(ValueError):
+        speedup(seq, RunResult(app="x", system="y", nprocs=1, time_us=0.0))
+
+
+# ------------------------------------------------------------------- results
+
+def test_breakdown_fractions_sum_to_one():
+    result = run_svm(TinyApp(), GENIMA)
+    fracs = result.breakdown_fractions
+    assert sum(fracs.values()) == pytest.approx(1.0)
+
+
+def test_result_summary_fields():
+    result = run_svm(TinyApp(), GENIMA)
+    summary = result.summary()
+    for key in ("app", "system", "nprocs", "time_us", "compute",
+                "barrier", "interrupts", "messages"):
+        assert key in summary
+
+
+def test_table2_metrics_bounded():
+    result = run_svm(TinyApp(), GENIMA)
+    assert 0.0 <= result.barrier_fraction <= 1.0
+    assert 0.0 <= result.barrier_protocol_fraction <= 1.0
+    assert 0.0 <= result.mprotect_fraction <= 1.0
+
+
+def test_mean_breakdown_averages_ranks():
+    buckets = []
+    for v in (10.0, 20.0, 30.0):
+        b = TimeBuckets()
+        b.charge("compute", v)
+        buckets.append(b)
+    result = RunResult(app="x", system="y", nprocs=3, time_us=1.0,
+                       buckets=buckets)
+    assert result.mean_breakdown.compute == pytest.approx(20.0)

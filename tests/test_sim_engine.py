@@ -1,0 +1,301 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        fired.append(sim.now)
+        yield sim.timeout(2.5)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert fired == [5.0, 7.5]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        v = yield sim.timeout(1.0, value="hello")
+        got.append(v)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    for i in range(5):
+        sim.schedule(10.0, lambda i=i: order.append(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_wakes_waiter_with_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        v = yield ev
+        got.append((sim.now, v))
+
+    sim.process(waiter())
+    sim.schedule(3.0, lambda: ev.succeed(42))
+    sim.run()
+    assert got == [(3.0, 42)]
+
+
+def test_event_triggered_twice_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_yield_already_triggered_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("pre")
+    got = []
+
+    def proc():
+        yield sim.timeout(1.0)
+        v = yield ev
+        got.append((sim.now, v))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(1.0, "pre")]
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    sim.process(waiter())
+    sim.schedule(1.0, lambda: ev.fail(RuntimeError("boom")))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_return_value_delivered_to_parent():
+    sim = Simulator()
+    got = []
+
+    def child():
+        yield sim.timeout(4.0)
+        return 99
+
+    def parent():
+        v = yield sim.process(child())
+        got.append((sim.now, v))
+
+    sim.process(parent())
+    sim.run()
+    assert got == [(4.0, 99)]
+
+
+def test_uncaught_process_exception_propagates_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("crash")
+
+    sim.process(bad())
+    with pytest.raises(ValueError, match="crash"):
+        sim.run()
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 123
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(100.0)
+        fired.append(True)
+
+    sim.process(proc())
+    end = sim.run(until=10.0)
+    assert end == 10.0
+    assert not fired
+    sim.run()
+    assert fired == [True]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    evs = [sim.event() for _ in range(3)]
+    got = []
+
+    def waiter():
+        vals = yield sim.all_of(evs)
+        got.append((sim.now, vals))
+
+    sim.process(waiter())
+    sim.schedule(1.0, lambda: evs[1].succeed("b"))
+    sim.schedule(2.0, lambda: evs[0].succeed("a"))
+    sim.schedule(5.0, lambda: evs[2].succeed("c"))
+    sim.run()
+    assert got == [(5.0, ["b", "a", "c"])] or got == [(5.0, ["a", "b", "c"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        vals = yield sim.all_of([])
+        got.append(vals)
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [[]]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    evs = [sim.event() for _ in range(3)]
+    got = []
+
+    def waiter():
+        v = yield sim.any_of(evs)
+        got.append((sim.now, v))
+
+    sim.process(waiter())
+    sim.schedule(2.0, lambda: evs[2].succeed("late"))
+    sim.schedule(1.0, lambda: evs[0].succeed("first"))
+    sim.run()
+    assert got == [(1.0, "first")]
+
+
+def test_interrupt_raises_in_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+            log.append("finished")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    proc = sim.process(victim())
+    sim.schedule(5.0, lambda: proc.interrupt("stop"))
+    sim.run()
+    assert log == [("interrupted", 5.0, "stop")]
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_process_is_alive_tracks_lifetime():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(3.0)
+
+    proc = sim.process(quick())
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.schedule(7.0, lambda: None)
+    assert sim.peek() == 7.0
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_nested_process_chains():
+    sim = Simulator()
+    trace = []
+
+    def leaf(tag, delay):
+        yield sim.timeout(delay)
+        trace.append(tag)
+        return tag
+
+    def mid():
+        a = yield sim.process(leaf("a", 1.0))
+        b = yield sim.process(leaf("b", 2.0))
+        return a + b
+
+    def root():
+        v = yield sim.process(mid())
+        trace.append(v)
+
+    sim.process(root())
+    sim.run()
+    assert trace == ["a", "b", "ab"]
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_callback_added_after_dispatch_runs_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(7)
+    sim.run()
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    assert got == [7]

@@ -1,0 +1,260 @@
+"""Unit tests for queueing primitives (Resource, Store, RateServer)."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator, Store
+from repro.sim.resources import RateServer
+
+
+# ---------------------------------------------------------------- Resource
+
+def test_resource_serializes_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(tag):
+        yield res.request()
+        start = sim.now
+        yield sim.timeout(10.0)
+        res.release()
+        spans.append((tag, start, sim.now))
+
+    for i in range(3):
+        sim.process(worker(i))
+    sim.run()
+    assert spans == [(0, 0.0, 10.0), (1, 10.0, 20.0), (2, 20.0, 30.0)]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def worker(tag):
+        yield res.request()
+        yield sim.timeout(10.0)
+        res.release()
+        done.append((tag, sim.now))
+
+    for i in range(4):
+        sim.process(worker(i))
+    sim.run()
+    assert done == [(0, 10.0), (1, 10.0), (2, 20.0), (3, 20.0)]
+
+
+def test_resource_fifo_grant_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, arrive):
+        yield sim.timeout(arrive)
+        yield res.request()
+        order.append(tag)
+        yield sim.timeout(5.0)
+        res.release()
+
+    sim.process(worker("a", 0.0))
+    sim.process(worker("b", 1.0))
+    sim.process(worker("c", 2.0))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_release_idle_resource_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_use_helper_releases_on_completion():
+    sim = Simulator()
+    res = Resource(sim)
+
+    def worker():
+        yield from res.use(5.0)
+
+    sim.process(worker())
+    sim.run()
+    assert res.in_use == 0
+    assert sim.now == 5.0
+
+
+def test_resource_wait_time_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def worker():
+        yield res.request()
+        yield sim.timeout(10.0)
+        res.release()
+
+    sim.process(worker())
+    sim.process(worker())
+    sim.run()
+    assert res.total_requests == 2
+    assert res.total_wait_time == pytest.approx(10.0)
+
+
+def test_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+# ------------------------------------------------------------------- Store
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        yield store.put("x")
+        yield store.put("y")
+
+    def consumer():
+        a = yield store.get()
+        b = yield store.get()
+        got.extend([a, b])
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == ["x", "y"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(5.0)
+        yield store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(5.0, "late")]
+
+
+def test_bounded_store_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    timeline = []
+
+    def producer():
+        for i in range(4):
+            yield store.put(i)
+            timeline.append(("put", i, sim.now))
+
+    def consumer():
+        yield sim.timeout(10.0)
+        for _ in range(4):
+            item = yield store.get()
+            timeline.append(("get", item, sim.now))
+            yield sim.timeout(10.0)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    # puts 0 and 1 are immediate; put 2 waits for the first get at t=10,
+    # put 3 for the second get at t=20.
+    assert ("put", 0, 0.0) in timeline
+    assert ("put", 1, 0.0) in timeline
+    assert ("put", 2, 10.0) in timeline
+    assert ("put", 3, 20.0) in timeline
+    # put 2 stalls t=0..10; put 3 arrives at t=10 and stalls until t=20.
+    assert store.total_put_stall_time == pytest.approx(10.0 + 10.0)
+
+
+def test_store_fifo_ordering_preserved():
+    sim = Simulator()
+    store = Store(sim, capacity=8)
+    got = []
+
+    def producer():
+        for i in range(8):
+            yield store.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer():
+        yield sim.timeout(3.5)
+        for _ in range(8):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == list(range(8))
+
+
+def test_store_handoff_to_waiting_getter_bypasses_buffer():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    def producer():
+        yield sim.timeout(1.0)
+        yield store.put("direct")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == ["direct"]
+    assert len(store) == 0
+
+
+def test_store_max_occupancy_tracked():
+    sim = Simulator()
+    store = Store(sim, capacity=16)
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+
+    sim.process(producer())
+    sim.run()
+    assert store.max_occupancy == 5
+
+
+# -------------------------------------------------------------- RateServer
+
+def test_rate_server_service_time():
+    sim = Simulator()
+    link = RateServer(sim, bandwidth_mbps=100.0, overhead_us=2.0)
+    assert link.service_time(1000) == pytest.approx(2.0 + 10.0)
+
+
+def test_rate_server_serializes_transfers():
+    sim = Simulator()
+    link = RateServer(sim, bandwidth_mbps=100.0)
+    done = []
+
+    def sender(tag, size):
+        yield from link.transfer(size)
+        done.append((tag, sim.now))
+
+    sim.process(sender("a", 1000))
+    sim.process(sender("b", 1000))
+    sim.run()
+    assert done == [("a", 10.0), ("b", 20.0)]
+    assert link.total_bytes == 2000
+
+
+def test_rate_server_rejects_nonpositive_bandwidth():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        RateServer(sim, bandwidth_mbps=0.0)

@@ -1,0 +1,180 @@
+"""Unit + property tests for twin/diff machinery (concrete and abstract)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.svm import DiffShape, apply_diff, compute_diff, diff_payload_bytes
+from repro.svm.diffs import RUN_HEADER_BYTES, WORD
+
+
+# ------------------------------------------------------------ concrete diffs
+
+def test_identical_pages_have_empty_diff():
+    page = bytes(64)
+    assert compute_diff(page, page) == []
+
+
+def test_single_word_change():
+    twin = bytearray(64)
+    cur = bytearray(64)
+    cur[8:12] = b"\x01\x02\x03\x04"
+    diff = compute_diff(bytes(twin), bytes(cur))
+    assert diff == [(8, b"\x01\x02\x03\x04")]
+
+
+def test_adjacent_words_coalesce_into_one_run():
+    twin = bytearray(64)
+    cur = bytearray(64)
+    cur[8:16] = b"\xff" * 8
+    diff = compute_diff(bytes(twin), bytes(cur))
+    assert len(diff) == 1
+    assert diff[0] == (8, b"\xff" * 8)
+
+
+def test_separated_words_make_two_runs():
+    twin = bytearray(64)
+    cur = bytearray(64)
+    cur[0:4] = b"\xaa" * 4
+    cur[20:24] = b"\xbb" * 4
+    diff = compute_diff(bytes(twin), bytes(cur))
+    assert len(diff) == 2
+    assert diff[0][0] == 0 and diff[1][0] == 20
+
+
+def test_modified_run_at_page_end():
+    twin = bytearray(32)
+    cur = bytearray(32)
+    cur[28:32] = b"\x07" * 4
+    diff = compute_diff(bytes(twin), bytes(cur))
+    assert diff == [(28, b"\x07" * 4)]
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        compute_diff(bytes(8), bytes(12))
+
+
+def test_non_word_multiple_rejected():
+    with pytest.raises(ValueError):
+        compute_diff(bytes(10), bytes(10))
+
+
+def test_apply_diff_out_of_range_rejected():
+    target = bytearray(16)
+    with pytest.raises(ValueError):
+        apply_diff(target, [(12, b"\x01" * 8)])
+
+
+def test_diff_payload_bytes():
+    diff = [(0, b"\x01" * 4), (16, b"\x02" * 8)]
+    assert diff_payload_bytes(diff) == (RUN_HEADER_BYTES + 4
+                                        + RUN_HEADER_BYTES + 8)
+
+
+pages = st.integers(1, 32).flatmap(
+    lambda words: st.tuples(
+        st.binary(min_size=words * WORD, max_size=words * WORD),
+        st.binary(min_size=words * WORD, max_size=words * WORD)))
+
+
+@settings(max_examples=200)
+@given(pages)
+def test_diff_apply_roundtrip(pair):
+    """apply(twin, diff(twin, current)) == current — the core invariant
+    HLRC relies on for correctness of home copies."""
+    twin, current = pair
+    target = bytearray(twin)
+    apply_diff(target, compute_diff(twin, current))
+    assert bytes(target) == current
+
+
+@settings(max_examples=200)
+@given(pages)
+def test_diff_runs_are_disjoint_sorted_and_word_aligned(pair):
+    twin, current = pair
+    diff = compute_diff(twin, current)
+    last_end = -1
+    for off, data in diff:
+        assert off % WORD == 0
+        assert len(data) % WORD == 0
+        assert off > last_end
+        last_end = off + len(data) - 1
+
+
+@settings(max_examples=200)
+@given(pages)
+def test_diff_is_minimal_at_word_granularity(pair):
+    """Every word inside a run differs... at run granularity the diff
+    never includes a word equal in twin and current."""
+    twin, current = pair
+    for off, data in compute_diff(twin, current):
+        for w in range(0, len(data), WORD):
+            assert twin[off + w:off + w + WORD] != data[w:w + WORD]
+
+
+@settings(max_examples=100)
+@given(pages)
+def test_applying_diff_to_unrelated_base_touches_only_runs(pair):
+    twin, current = pair
+    base = bytearray(b"\x5a" * len(twin))
+    diff = compute_diff(twin, current)
+    covered = set()
+    for off, data in diff:
+        covered.update(range(off, off + len(data)))
+    apply_diff(base, diff)
+    for i, b in enumerate(base):
+        if i not in covered:
+            assert b == 0x5A
+
+
+# ------------------------------------------------------------ abstract shapes
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        DiffShape(runs=0, bytes_modified=4)
+    with pytest.raises(ValueError):
+        DiffShape(runs=4, bytes_modified=8)  # < one word per run
+
+
+def test_shape_from_diff():
+    diff = [(0, b"\x01" * 4), (16, b"\x02" * 8)]
+    shape = DiffShape.from_diff(diff)
+    assert shape.runs == 2
+    assert shape.bytes_modified == 12
+
+
+def test_shape_from_empty_diff_rejected():
+    with pytest.raises(ValueError):
+        DiffShape.from_diff([])
+
+
+def test_packed_vs_run_message_sizes():
+    shape = DiffShape(runs=8, bytes_modified=256)
+    assert shape.packed_message_bytes == 256 + 8 * RUN_HEADER_BYTES
+    # direct diffs: one small message per run
+    assert shape.run_message_bytes == 256 // 8 + RUN_HEADER_BYTES
+
+
+def test_direct_diffs_multiply_message_count_not_bytes():
+    """The Barnes-spatial pathology: scattered runs mean many messages,
+    while a packed diff stays a single message."""
+    scattered = DiffShape(runs=30, bytes_modified=480)
+    contiguous = DiffShape(runs=1, bytes_modified=480)
+    assert scattered.runs == 30 * contiguous.runs
+    assert scattered.packed_message_bytes > contiguous.packed_message_bytes
+    # per-run payloads are tiny
+    assert scattered.run_message_bytes < 32
+
+
+def test_shape_merge_accumulates():
+    a = DiffShape(runs=2, bytes_modified=64)
+    b = DiffShape(runs=5, bytes_modified=128)
+    m = a.merge(b)
+    assert m.runs == 5
+    assert m.bytes_modified == 192
+
+
+def test_shape_merge_caps_at_page_size():
+    a = DiffShape(runs=1, bytes_modified=4000)
+    b = DiffShape(runs=1, bytes_modified=4000)
+    assert a.merge(b).bytes_modified == 4096

@@ -1,0 +1,237 @@
+"""Unit tests for regions, the page directory, page tables, mprotect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import MachineConfig
+from repro.svm import (DiffShape, HomePage, NodePageTable, PageAccess,
+                       PageDirectory, coalesce_pages)
+from repro.svm.mprotect import MprotectModel
+
+
+CFG = MachineConfig()
+
+
+# --------------------------------------------------------------- directory
+
+def test_blocked_home_policy_partitions_contiguously():
+    d = PageDirectory(CFG)
+    region = d.allocate("a", 16, home_policy="blocked")
+    assert region.homes == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+
+def test_round_robin_home_policy():
+    d = PageDirectory(CFG)
+    region = d.allocate("a", 8, home_policy="round_robin")
+    assert region.homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_single_node_home_policy():
+    d = PageDirectory(CFG)
+    region = d.allocate("a", 5, home_policy="node:2")
+    assert region.homes == [2] * 5
+
+
+def test_custom_home_policy():
+    d = PageDirectory(CFG)
+    region = d.allocate("a", 6, home_policy="custom",
+                        home_fn=lambda i: (i * 2) % 4)
+    assert region.homes == [0, 2, 0, 2, 0, 2]
+
+
+def test_custom_policy_requires_fn():
+    d = PageDirectory(CFG)
+    with pytest.raises(ValueError):
+        d.allocate("a", 4, home_policy="custom")
+
+
+def test_invalid_home_node_rejected():
+    d = PageDirectory(CFG)
+    with pytest.raises(ValueError):
+        d.allocate("a", 4, home_policy="node:9")
+
+
+def test_duplicate_region_name_rejected():
+    d = PageDirectory(CFG)
+    d.allocate("a", 4)
+    with pytest.raises(ValueError):
+        d.allocate("a", 4)
+
+
+def test_gids_are_globally_unique_across_regions():
+    d = PageDirectory(CFG)
+    a = d.allocate("a", 10)
+    b = d.allocate("b", 10)
+    assert set(a.gids(range(10))).isdisjoint(b.gids(range(10)))
+    assert d.total_pages == 20
+
+
+def test_region_of_and_home_of():
+    d = PageDirectory(CFG)
+    a = d.allocate("a", 8, home_policy="round_robin")
+    gid = a.gid(5)
+    assert d.region_of(gid) is a
+    assert d.home_of(gid) == 1  # 5 % 4
+
+
+def test_region_gid_bounds_checked():
+    d = PageDirectory(CFG)
+    a = d.allocate("a", 4)
+    with pytest.raises(IndexError):
+        a.gid(4)
+    with pytest.raises(KeyError):
+        d.region_of(99)
+
+
+def test_concrete_region_has_data_pages():
+    d = PageDirectory(CFG)
+    a = d.allocate("a", 3, concrete=True)
+    assert len(a.data) == 3
+    assert all(len(page) == CFG.page_size for page in a.data)
+    b = d.allocate("b", 3)
+    assert b.data is None
+
+
+# ---------------------------------------------------------------- HomePage
+
+def test_home_page_satisfies():
+    hp = HomePage()
+    hp.applied = {0: 3, 2: 1}
+    assert hp.satisfies({0: 3})
+    assert hp.satisfies({0: 2, 2: 1})
+    assert not hp.satisfies({0: 4})
+    assert not hp.satisfies({1: 1})
+    assert hp.satisfies({})
+
+
+def test_home_page_snapshot_is_stable():
+    hp = HomePage()
+    hp.applied = {0: 1}
+    snap = hp.snapshot()
+    hp.applied[0] = 5
+    assert snap == {0: 1}
+    assert HomePage.snapshot_satisfies(snap, {0: 1})
+    assert not HomePage.snapshot_satisfies(snap, {0: 2})
+
+
+# ------------------------------------------------------------ NodePageTable
+
+def make_table():
+    return NodePageTable(0, CFG)
+
+
+def test_pages_start_invalid():
+    t = make_table()
+    assert t.access(123) is PageAccess.INVALID
+
+
+def test_mark_valid_read_and_write():
+    t = make_table()
+    t.mark_valid(1)
+    assert t.access(1) is PageAccess.READ
+    t.mark_valid(2, writable=True)
+    assert t.access(2) is PageAccess.WRITE
+
+
+def test_first_write_twins_second_does_not():
+    t = make_table()
+    t.mark_valid(1)
+    shape = DiffShape(runs=1, bytes_modified=64)
+    assert t.record_write(1, shape) is True
+    assert t.record_write(1, shape) is False
+    assert t.access(1) is PageAccess.WRITE
+
+
+def test_repeat_writes_merge_shapes():
+    t = make_table()
+    t.record_write(1, DiffShape(runs=2, bytes_modified=64))
+    t.record_write(1, DiffShape(runs=5, bytes_modified=100))
+    assert t.dirty_pages[1].runs == 5
+    assert t.dirty_pages[1].bytes_modified == 164
+
+
+def test_take_dirty_resets_and_downgrades():
+    t = make_table()
+    t.record_write(1, DiffShape(runs=1, bytes_modified=32))
+    t.record_write(2, DiffShape(runs=1, bytes_modified=32))
+    dirty = t.take_dirty()
+    assert set(dirty) == {1, 2}
+    assert t.dirty_pages == {}
+    assert t.access(1) is PageAccess.READ
+    # next write twins again
+    assert t.record_write(1, DiffShape(runs=1, bytes_modified=32)) is True
+
+
+def test_invalidate_updates_needed_and_state():
+    t = make_table()
+    t.mark_valid(7)
+    changed = t.invalidate(7, writer=2, interval=4)
+    assert changed is True
+    assert t.access(7) is PageAccess.INVALID
+    assert t.needed_versions(7) == {2: 4}
+
+
+def test_invalidate_already_invalid_needs_no_mprotect():
+    t = make_table()
+    assert t.invalidate(7, writer=1, interval=1) is False
+    assert t.needed_versions(7) == {1: 1}
+
+
+def test_invalidate_at_home_keeps_access():
+    t = make_table()
+    t.mark_valid(7)
+    changed = t.invalidate(7, writer=2, interval=1, is_home=True)
+    assert changed is False
+    assert t.access(7) is PageAccess.READ
+    assert t.needed_versions(7) == {2: 1}
+
+
+def test_needed_versions_keep_maximum():
+    t = make_table()
+    t.invalidate(7, writer=1, interval=5)
+    t.invalidate(7, writer=1, interval=3)
+    assert t.needed_versions(7) == {1: 5}
+
+
+# ----------------------------------------------------------------- mprotect
+
+def test_coalesce_pages_runs():
+    assert coalesce_pages([1, 2, 3, 7, 8, 10]) == [(1, 3), (7, 2), (10, 1)]
+    assert coalesce_pages([]) == []
+    assert coalesce_pages([5, 5, 5]) == [(5, 1)]
+
+
+@given(st.lists(st.integers(0, 200), max_size=50))
+def test_coalesce_covers_exactly_the_unique_pages(pages):
+    runs = coalesce_pages(pages)
+    covered = []
+    for first, count in runs:
+        covered.extend(range(first, first + count))
+    assert covered == sorted(set(pages))
+
+
+def test_mprotect_coalescing_is_cheaper():
+    m = MprotectModel(CFG)
+    contiguous = m.cost_us(range(100))
+    scattered = m.cost_us(range(0, 200, 2))
+    assert contiguous < scattered
+    # one call + per-page increments
+    assert contiguous == pytest.approx(
+        CFG.mprotect_call_us + 99 * CFG.mprotect_page_us)
+    assert scattered == pytest.approx(100 * CFG.mprotect_call_us)
+
+
+def test_mprotect_accounting():
+    m = MprotectModel(CFG)
+    cost = m.protect(1, [1, 2, 3])
+    assert cost > 0
+    assert m.total_us[1] == pytest.approx(cost)
+    assert m.calls[1] == 1
+    assert m.pages_protected[1] == 3
+    assert m.grand_total_us == pytest.approx(cost)
+
+
+def test_mprotect_empty_is_free():
+    m = MprotectModel(CFG)
+    assert m.protect(0, []) == 0.0
+    assert m.calls[0] == 0

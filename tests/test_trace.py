@@ -1,0 +1,126 @@
+"""Tests for the tracing facility and its protocol integration."""
+
+import pytest
+
+from repro.hw import Machine, MachineConfig
+from repro.sim import TraceEvent, Tracer
+from repro.svm import BASE, GENIMA, HLRCProtocol
+
+
+# ----------------------------------------------------------------- Tracer
+
+def test_record_and_query():
+    tr = Tracer()
+    tr.record(1.0, "fetch", gid=7)
+    tr.record(2.0, "fetch.retry", gid=7)
+    tr.record(3.0, "lock.acquire", rank=0)
+    assert tr.count("fetch") == 1
+    assert tr.count("fetch.retry") == 1
+    assert len(tr.filter("fetch")) == 2
+    assert len(tr.filter("lock")) == 1
+    assert tr.counts() == {"fetch": 1, "fetch.retry": 1,
+                           "lock.acquire": 1}
+
+
+def test_category_filter_by_prefix():
+    tr = Tracer(categories={"lock"})
+    tr.record(1.0, "lock.acquire")
+    tr.record(2.0, "fetch.retry")
+    assert tr.count("lock.acquire") == 1
+    assert tr.count("fetch.retry") == 0
+    assert len(tr.events) == 1
+
+
+def test_capacity_bounds_events_not_counts():
+    tr = Tracer(capacity=3)
+    for i in range(10):
+        tr.record(float(i), "x", i=i)
+    assert len(tr.events) == 3
+    assert tr.events[0].fields["i"] == 7  # oldest dropped
+    assert tr.count("x") == 10
+
+
+def test_between_and_to_text():
+    tr = Tracer()
+    for i in range(5):
+        tr.record(float(i * 10), "tick", n=i)
+    assert [e.fields["n"] for e in tr.between(15.0, 35.0)] == [2, 3]
+    text = tr.to_text(limit=2)
+    assert "n=4" in text and "n=0" not in text
+
+
+def test_clear():
+    tr = Tracer()
+    tr.record(1.0, "a")
+    tr.clear()
+    assert tr.events == [] and tr.counts() == {}
+
+
+def test_event_str():
+    e = TraceEvent(t=12.5, category="lock.acquire",
+                   fields={"rank": 3})
+    assert "lock.acquire" in str(e) and "rank=3" in str(e)
+
+
+# ------------------------------------------------------ protocol integration
+
+def run_all(machine, gens):
+    for g in gens:
+        machine.sim.process(g)
+    machine.run()
+
+
+def test_protocol_emits_trace_events():
+    machine = Machine(MachineConfig())
+    tracer = Tracer()
+    proto = HLRCProtocol(machine, GENIMA, tracer=tracer)
+    region = proto.allocate("t", 8, home_policy="node:1")
+
+    def worker(rank):
+        yield from proto.read(rank, region, [rank % 8])
+        yield from proto.write(rank, region, [rank % 8],
+                               runs_per_page=1, bytes_per_page=64)
+        yield from proto.lock(rank, 0)
+        yield from proto.unlock(rank, 0)
+        yield from proto.barrier(rank)
+
+    run_all(machine, [worker(r) for r in range(16)])
+    counts = tracer.counts()
+    assert counts["fault.read"] > 0
+    assert counts["lock.acquire"] == 16
+    assert counts["lock.release"] == 16
+    assert counts["barrier.enter"] == 16
+    assert counts["barrier.exit"] == 16
+    assert counts["interval.close"] >= 1
+    assert counts["diff.flush"] >= 1
+
+
+def test_untraced_protocol_pays_nothing():
+    machine = Machine(MachineConfig())
+    proto = HLRCProtocol(machine, BASE)
+    assert proto.tracer is None
+
+    def worker():
+        yield from proto.barrier(0)
+
+    # no exception from the _trace guard
+    run_all(machine, [worker()] + [_b(proto, r) for r in range(1, 16)])
+
+
+def _b(proto, rank):
+    yield from proto.barrier(rank)
+
+
+def test_trace_event_ordering_is_chronological():
+    machine = Machine(MachineConfig())
+    tracer = Tracer()
+    proto = HLRCProtocol(machine, GENIMA, tracer=tracer)
+
+    def worker(rank):
+        yield from proto.lock(rank, 1)
+        yield from proto.unlock(rank, 1)
+        yield from proto.barrier(rank)
+
+    run_all(machine, [worker(r) for r in range(16)])
+    times = [e.t for e in tracer.events]
+    assert times == sorted(times)
