@@ -1,0 +1,29 @@
+"""Protocol analysis: trace sanitizer, invariant checker, static lint.
+
+Three cooperating passes that keep the simulator honest:
+
+* :mod:`repro.analysis.sanitizer` — offline race/coherence sanitizer
+  replaying recorded traces against a happens-before graph
+  (:mod:`repro.analysis.hb`).
+* :mod:`repro.analysis.invariants` — runtime predicates the protocol
+  asserts at its own commit points (``--check`` / ``repro check``).
+* :mod:`repro.analysis.lint` — static AST lint enforcing the
+  determinism rules the other two passes depend on (``repro lint``).
+"""
+
+from .hb import ClockHistory, HBGraph, IntervalInfo
+from .invariants import (LEGAL_TRANSITIONS, InvariantChecker,
+                         InvariantViolation)
+from .lint import (RULES, LintViolation, Rule, default_target, lint_paths,
+                   lint_source, register_rule)
+from .sanitizer import (SANITIZER_CHECKS, Finding, Sanitizer,
+                        SanitizerCheck, register_check, sanitize_run)
+
+__all__ = [
+    "ClockHistory", "HBGraph", "IntervalInfo",
+    "InvariantChecker", "InvariantViolation", "LEGAL_TRANSITIONS",
+    "LintViolation", "Rule", "RULES", "register_rule",
+    "lint_source", "lint_paths", "default_target",
+    "Finding", "Sanitizer", "SanitizerCheck", "SANITIZER_CHECKS",
+    "register_check", "sanitize_run",
+]

@@ -1,0 +1,349 @@
+"""Dynamic race & coherence sanitizer for protocol traces.
+
+Consumes the event stream of an instrumented run (any protocol variant,
+any app) and checks the properties the paper's argument rests on:
+
+* **lost-write-notice** — a page fault whose ``needed`` versions miss a
+  write the faulting node's vector clock has already seen: the write
+  notice was lost or applied late, so a read could observe a page
+  version not ordered after the write that produced it
+  (release->acquire chain broken).
+* **clock-regression** — a node's vector clock moved backwards in some
+  component: merges must be pointwise maxima, so any regression means
+  protocol state was corrupted.
+* **lock-queue** — the distributed lock queue invariant: grants only
+  from the node holding a released token, always to the queue head,
+  exactly one grant per acquire (no double grants, no orphaned
+  waiters).  Applies to both NI-firmware locks (``nilock.*``) and the
+  interrupt-driven Base locks (``svmlock.*``).
+* **fetch-race** — a page fetch that accepted a version snapshot not
+  satisfying its needed versions (a diff application raced with the
+  fetch and the timestamp-check retry loop failed), or claiming a
+  version no diff application ever produced.
+* **barrier-epoch** — a process left a barrier episode before every
+  process had entered it.
+
+Every finding carries the offending trace slice for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from ..sim.trace import TraceEvent
+from .hb import HBGraph
+
+__all__ = ["Finding", "SanitizerCheck", "Sanitizer", "SANITIZER_CHECKS",
+           "register_check", "sanitize_run"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected protocol violation, with its evidence."""
+
+    check: str
+    message: str
+    events: Tuple[TraceEvent, ...] = ()
+
+    def __str__(self) -> str:
+        lines = [f"[{self.check}] {self.message}"]
+        lines.extend(f"    {e}" for e in self.events)
+        return "\n".join(lines)
+
+
+class SanitizerCheck:
+    """Base class: one pass over the trace yielding findings."""
+
+    name = "abstract"
+    description = ""
+
+    def run(self, events: Sequence[TraceEvent],
+            hb: HBGraph) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: name -> check class; later PRs register their own passes here.
+SANITIZER_CHECKS: Dict[str, Type[SanitizerCheck]] = {}
+
+
+def register_check(cls: Type[SanitizerCheck]) -> Type[SanitizerCheck]:
+    """Class decorator adding a check to the default sanitizer set."""
+    if cls.name in SANITIZER_CHECKS:
+        raise ValueError(f"duplicate sanitizer check {cls.name!r}")
+    SANITIZER_CHECKS[cls.name] = cls
+    return cls
+
+
+# --------------------------------------------------------------- checks
+
+
+@register_check
+class WriteNoticeCheck(SanitizerCheck):
+    """Reads must be ordered after the writes that produced them."""
+
+    name = "lost-write-notice"
+    description = ("a fault's needed versions must cover every write "
+                   "its vector clock has seen for that page")
+
+    def run(self, events: Sequence[TraceEvent],
+            hb: HBGraph) -> Iterator[Finding]:
+        for ev in events:
+            if ev.category != "fault.fetch":
+                continue
+            node = ev.fields["node"]
+            gid = ev.fields["gid"]
+            needed = dict(ev.fields.get("needed", ()))
+            clock = tuple(ev.fields.get("clock", ()))
+            for info in hb.writes_to(gid):
+                if info.node == node or info.event.seq >= ev.seq:
+                    continue
+                seen = (info.node < len(clock)
+                        and clock[info.node] >= info.index)
+                if seen and needed.get(info.node, 0) < info.index:
+                    yield Finding(
+                        self.name,
+                        f"node {node} faulted page {gid} needing versions "
+                        f"{needed}, but its clock {clock} already ordered "
+                        f"it after interval {info.index} of node "
+                        f"{info.node} (which wrote the page): the write "
+                        f"notice was lost or applied late",
+                        (info.event, ev))
+
+
+@register_check
+class ClockMonotonicityCheck(SanitizerCheck):
+    """Vector clocks never regress and merges dominate their input."""
+
+    name = "clock-regression"
+    description = "per-node vector clocks must be pointwise non-decreasing"
+
+    def run(self, events: Sequence[TraceEvent],
+            hb: HBGraph) -> Iterator[Finding]:
+        last: Dict[int, Tuple[Tuple[int, ...], TraceEvent]] = {}
+        for ev in events:
+            if ev.category not in ("interval.close", "clock.advance"):
+                continue
+            clock = tuple(ev.fields.get("clock", ()))
+            if not clock:
+                continue
+            node = ev.fields["node"]
+            prev = last.get(node)
+            if prev is not None:
+                prev_clock, prev_ev = prev
+                if len(prev_clock) != len(clock) or any(
+                        a < b for a, b in zip(clock, prev_clock)):
+                    yield Finding(
+                        self.name,
+                        f"node {node} clock regressed from {prev_clock} "
+                        f"to {clock} (non-monotone merge)",
+                        (prev_ev, ev))
+            if ev.category == "clock.advance":
+                want = tuple(ev.fields.get("want", ()))
+                if want and (len(want) != len(clock) or any(
+                        c < w for c, w in zip(clock, want))):
+                    yield Finding(
+                        self.name,
+                        f"node {node} merged to {clock}, which does not "
+                        f"dominate the acquired timestamp {want}",
+                        (ev,))
+            last[node] = (clock, ev)
+
+
+@register_check
+class LockQueueCheck(SanitizerCheck):
+    """The distributed lock-queue invariant, NI and interrupt flavours."""
+
+    name = "lock-queue"
+    description = ("grants come only from the token holder, go to the "
+                   "queue head, and match acquires one-to-one")
+
+    prefixes = ("nilock", "svmlock")
+
+    def run(self, events: Sequence[TraceEvent],
+            hb: HBGraph) -> Iterator[Finding]:
+        for prefix in self.prefixes:
+            yield from self._check_prefix(prefix, events)
+
+    def _check_prefix(self, prefix: str,
+                      events: Sequence[TraceEvent]) -> Iterator[Finding]:
+        #: lock -> ("at", node) or ("flight", dst); unknown until the
+        #: first grant (the token starts at the lock's home).
+        location: Dict[int, Tuple[str, int]] = {}
+        acquires: Dict[Tuple[int, int], List[TraceEvent]] = {}
+        grants: Dict[Tuple[int, int], int] = {}
+        for ev in events:
+            if not ev.category.startswith(prefix + "."):
+                continue
+            op = ev.category.split(".", 1)[1]
+            lock = ev.fields.get("lock")
+            node = ev.fields.get("node")
+            if op == "acquire":
+                acquires.setdefault((node, lock), []).append(ev)
+            elif op == "grant":
+                requester = ev.fields["requester"]
+                queue = tuple(ev.fields.get("queue", ()))
+                if ev.fields.get("present") is False:
+                    yield Finding(
+                        self.name,
+                        f"lock {lock}: node {node} granted without "
+                        f"holding the token (double grant)", (ev,))
+                if ev.fields.get("held") is True:
+                    yield Finding(
+                        self.name,
+                        f"lock {lock}: node {node} granted while the "
+                        f"lock was still held", (ev,))
+                if queue and requester != queue[0]:
+                    yield Finding(
+                        self.name,
+                        f"lock {lock}: grant to node {requester} bypassed "
+                        f"queue head {queue[0]} (queue {queue})", (ev,))
+                loc = location.get(lock)
+                if loc is not None and loc != ("at", node):
+                    yield Finding(
+                        self.name,
+                        f"lock {lock}: node {node} granted but the token "
+                        f"was {loc[0]} {loc[1]} (double grant)", (ev,))
+                location[lock] = (("at", node) if requester == node
+                                  else ("flight", requester))
+            elif op == "granted":
+                loc = location.get(lock)
+                if loc is not None and loc not in (("at", node),
+                                                   ("flight", node)):
+                    yield Finding(
+                        self.name,
+                        f"lock {lock}: grant arrived at node {node} but "
+                        f"the token was {loc[0]} {loc[1]}", (ev,))
+                location[lock] = ("at", node)
+                grants[(node, lock)] = grants.get((node, lock), 0) + 1
+        for key, evs in sorted(acquires.items()):
+            node, lock = key
+            got = grants.get(key, 0)
+            if got < len(evs):
+                yield Finding(
+                    self.name,
+                    f"lock {lock}: node {node} posted {len(evs)} "
+                    f"acquire(s) but received {got} grant(s): orphaned "
+                    f"waiter", tuple(evs[got:]))
+        for key in sorted(set(grants) - set(acquires)):
+            node, lock = key
+            yield Finding(
+                self.name,
+                f"lock {lock}: node {node} received {grants[key]} "
+                f"grant(s) without any acquire", ())
+
+
+@register_check
+class FetchRaceCheck(SanitizerCheck):
+    """Fetches must return versions that exist and satisfy the reader."""
+
+    name = "fetch-race"
+    description = ("an accepted page fetch must satisfy the needed "
+                   "versions and only claim diffs actually applied")
+
+    def run(self, events: Sequence[TraceEvent],
+            hb: HBGraph) -> Iterator[Finding]:
+        applied: Dict[Tuple[int, int], Tuple[int, TraceEvent]] = {}
+        for ev in events:
+            if ev.category == "home.apply":
+                gid = ev.fields["gid"]
+                writer = ev.fields["writer"]
+                index = ev.fields["index"]
+                prev = applied.get((gid, writer))
+                if prev is None or index > prev[0]:
+                    applied[(gid, writer)] = (index, ev)
+            elif ev.category == "fetch.ok":
+                gid = ev.fields["gid"]
+                node = ev.fields["node"]
+                snapshot = dict(ev.fields.get("snapshot", ()))
+                needed = dict(ev.fields.get("needed", ()))
+                for writer, want in sorted(needed.items()):
+                    if snapshot.get(writer, 0) < want:
+                        yield Finding(
+                            self.name,
+                            f"node {node} accepted page {gid} at versions "
+                            f"{snapshot} while needing {needed}: a diff "
+                            f"application raced with the fetch",
+                            (ev,))
+                        break
+                for writer, version in sorted(snapshot.items()):
+                    have = applied.get((gid, writer))
+                    if version > 0 and (have is None or version > have[0]):
+                        yield Finding(
+                            self.name,
+                            f"page {gid} fetch by node {node} claims "
+                            f"version {version} of writer {writer}, but "
+                            f"no such diff was applied at the home",
+                            (ev,) if have is None else (have[1], ev))
+
+
+@register_check
+class BarrierEpochCheck(SanitizerCheck):
+    """No process leaves a barrier before every process entered it."""
+
+    name = "barrier-epoch"
+    description = "barrier exits must follow all same-epoch entries"
+
+    def run(self, events: Sequence[TraceEvent],
+            hb: HBGraph) -> Iterator[Finding]:
+        enters: Dict[int, List[TraceEvent]] = {}
+        exits: Dict[int, List[TraceEvent]] = {}
+        for ev in events:
+            if ev.category == "barrier.enter":
+                enters.setdefault(ev.fields.get("epoch", 0), []).append(ev)
+            elif ev.category == "barrier.exit":
+                exits.setdefault(ev.fields.get("epoch", 0), []).append(ev)
+        for epoch, exit_evs in sorted(exits.items()):
+            enter_evs = enters.get(epoch, [])
+            if not enter_evs:
+                continue
+            last_enter = max(enter_evs, key=lambda e: e.seq)
+            for ev in exit_evs:
+                if ev.seq < last_enter.seq:
+                    yield Finding(
+                        self.name,
+                        f"barrier epoch {epoch}: rank "
+                        f"{ev.fields.get('rank')} exited before rank "
+                        f"{last_enter.fields.get('rank')} entered",
+                        (ev, last_enter))
+
+
+# ------------------------------------------------------------- sanitizer
+
+
+class Sanitizer:
+    """Run all (or selected) checks over one trace."""
+
+    def __init__(self, checks: Optional[Sequence[str]] = None):
+        names = list(checks) if checks is not None \
+            else sorted(SANITIZER_CHECKS)
+        unknown = [n for n in names if n not in SANITIZER_CHECKS]
+        if unknown:
+            raise ValueError(f"unknown sanitizer checks: {unknown}")
+        self.checks: List[SanitizerCheck] = [
+            SANITIZER_CHECKS[n]() for n in names]
+
+    def run(self, events: Sequence[TraceEvent]) -> List[Finding]:
+        events = list(events)
+        hb = HBGraph(events)
+        findings: List[Finding] = []
+        for check in self.checks:
+            findings.extend(check.run(events, hb))
+        return findings
+
+
+def sanitize_run(app: object, features: object, config: object = None,
+                 check_invariants: bool = True
+                 ) -> Tuple[object, List[Finding]]:
+    """Run ``app`` under ``features`` with full tracing and sanitize.
+
+    Returns ``(RunResult, findings)``.  Also installs the runtime
+    invariant checker unless ``check_invariants`` is False.
+    """
+    # Imported lazily: repro.runtime imports repro.analysis for --check.
+    from ..runtime import run_svm
+    from ..sim import Tracer
+    tracer = Tracer(capacity=None)
+    result = run_svm(app, features, config=config, tracer=tracer,
+                     check=check_invariants)
+    return result, Sanitizer().run(tracer.events)

@@ -17,7 +17,6 @@ breakdowns, following the SPLASH-2 guidelines the paper cites.
 from __future__ import annotations
 
 import abc
-import math
 from typing import Dict
 
 from ..runtime.context import ParallelContext

@@ -9,6 +9,8 @@ Examples::
     python -m repro figure 2
     python -m repro table 1
     python -m repro calibrate
+    python -m repro check --app Barnes-spatial
+    python -m repro lint
 """
 
 from __future__ import annotations
@@ -21,8 +23,11 @@ from .apps import APP_REGISTRY, PAPER_APPS
 from .runtime import run_hwdsm, run_sequential, run_svm, speedup
 from .svm import GENIMA_MC, GENIMA_PLUS, GENIMA_SG
 
-PROTOCOLS = {f.name: f for f in PROTOCOL_LADDER}
-PROTOCOLS.update({f.name: f for f in (GENIMA_SG, GENIMA_MC, GENIMA_PLUS)})
+PROTOCOLS = {f.name: f
+             for f in (*PROTOCOL_LADDER, GENIMA_SG, GENIMA_MC, GENIMA_PLUS)}
+
+#: default matrix for ``repro check``: the two fastest lock-using apps.
+CHECK_APPS = ("Barnes-spatial", "Water-spatial")
 
 
 def _cmd_list(_args) -> int:
@@ -50,7 +55,7 @@ def _cmd_run(args) -> int:
                            config=HWDSMConfig(nprocs=config.total_procs))
     else:
         result = run_svm(_make_app(args), PROTOCOLS[args.protocol],
-                         config=config)
+                         config=config, check=args.check)
     mean = result.mean_breakdown
     print(f"{args.app} on {result.system}, {result.nprocs} processors")
     print(f"  sequential time : {seq.time_us / 1000:.1f} ms")
@@ -127,6 +132,56 @@ def _cmd_calibrate(_args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    """Trace-sanitize (and invariant-check) an app x protocol matrix."""
+    from .analysis import sanitize_run
+    apps = args.app or list(CHECK_APPS)
+    protocols = ([PROTOCOLS[p] for p in args.protocol]
+                 if args.protocol else list(PROTOCOL_LADDER))
+    total = 0
+    for app_name in apps:
+        for feats in protocols:
+            result, findings = sanitize_run(
+                APP_REGISTRY[app_name](), feats,
+                check_invariants=not args.no_invariants)
+            status = "ok" if not findings else f"{len(findings)} finding(s)"
+            print(f"{app_name:18s} {feats.name:10s} "
+                  f"{result.time_us / 1000:8.1f} ms  {status}")
+            for finding in findings:
+                print(finding)
+            total += len(findings)
+    if total:
+        print(f"\n{total} sanitizer finding(s)")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    """Static determinism lint over the simulator sources."""
+    from .analysis import RULES, default_target, lint_paths
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(f"  {name:18s} {RULES[name].description}")
+        return 0
+    paths = args.path or [str(default_target())]
+    try:
+        violations = lint_paths(paths, rules=args.rule or None)
+    except ValueError as err:
+        print(f"error: {err} (see --list-rules)")
+        return 2
+    except OSError as err:
+        print(f"error: {err}")
+        return 2
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"\n{len(violations)} lint violation(s)")
+        return 1
+    print(f"lint clean ({len(RULES)} rules)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -144,6 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="SMP nodes (4 procs each)")
     run.add_argument("--paper-size", action="store_true",
                      help="use the paper's problem size (slow)")
+    run.add_argument("--check", action="store_true",
+                     help="assert protocol invariants while running")
     run.set_defaults(fn=_cmd_run)
 
     ladder = sub.add_parser("ladder",
@@ -169,6 +226,29 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("calibrate",
                    help="communication-layer microbenchmarks") \
         .set_defaults(fn=_cmd_calibrate)
+
+    check = sub.add_parser(
+        "check", help="trace-sanitize app x protocol runs")
+    check.add_argument("--app", action="append",
+                       choices=sorted(APP_REGISTRY),
+                       help="app(s) to check (default: "
+                            + ", ".join(CHECK_APPS) + ")")
+    check.add_argument("--protocol", action="append",
+                       choices=sorted(PROTOCOLS),
+                       help="protocol(s) to check (default: the ladder)")
+    check.add_argument("--no-invariants", action="store_true",
+                       help="skip the runtime invariant checker")
+    check.set_defaults(fn=_cmd_check)
+
+    lint = sub.add_parser(
+        "lint", help="static determinism lint over the sources")
+    lint.add_argument("path", nargs="*",
+                      help="files/directories (default: the repro package)")
+    lint.add_argument("--rule", action="append",
+                      help="run only the named rule(s)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list available rules and exit")
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

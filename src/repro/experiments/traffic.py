@@ -9,9 +9,9 @@ artifact, but the quantity every Section 3.3 argument is about.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from ..hw import Machine, MachineConfig
+from ..hw import MachineConfig
 from ..runtime import run_on_backend
 from ..runtime.backends import SVMBackend
 from ..svm import ProtocolFeatures

@@ -13,7 +13,7 @@ still above GeNIMA for most applications.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 from ..sim import Resource, Simulator
 from ..runtime.context import Backend

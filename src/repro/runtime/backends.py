@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
-
 from ..hw import Machine, MachineConfig
 from ..svm import HLRCProtocol, ProtocolFeatures
 from ..vmmc import PerfMonitor, VMMC
@@ -16,7 +14,8 @@ class SVMBackend(Backend):
     """The shared-virtual-memory cluster (the paper's system)."""
 
     def __init__(self, config: MachineConfig, features: ProtocolFeatures,
-                 with_monitor: bool = True, tracer=None):
+                 with_monitor: bool = True, tracer=None,
+                 check: bool = False):
         self.machine = Machine(config)
         self.vmmc = VMMC(self.machine)
         self.monitor = PerfMonitor(self.machine) if with_monitor else None
@@ -24,6 +23,12 @@ class SVMBackend(Backend):
                                      vmmc=self.vmmc, tracer=tracer)
         self.config = config
         self.features = features
+        self.invariants = None
+        if check:
+            # Imported here: repro.analysis imports the runtime for
+            # sanitize_run, so a top-level import would be circular.
+            from ..analysis.invariants import InvariantChecker
+            self.invariants = InvariantChecker(self.protocol).install()
 
     @property
     def sim(self):

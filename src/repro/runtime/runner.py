@@ -97,10 +97,16 @@ def _stats_delta(before: dict, after: dict) -> dict:
 
 def run_svm(app, features: ProtocolFeatures,
             config: Optional[MachineConfig] = None,
-            with_monitor: bool = True) -> RunResult:
-    """Run ``app`` on the SVM cluster under one protocol variant."""
+            with_monitor: bool = True, tracer=None,
+            check: bool = False) -> RunResult:
+    """Run ``app`` on the SVM cluster under one protocol variant.
+
+    ``tracer`` records the protocol event stream (for the offline
+    sanitizer); ``check`` installs the runtime invariant checker.
+    """
     backend = SVMBackend(config or MachineConfig(), features,
-                         with_monitor=with_monitor)
+                         with_monitor=with_monitor, tracer=tracer,
+                         check=check)
     return run_on_backend(app, backend, system=features.name)
 
 

@@ -24,15 +24,31 @@ __all__ = ["TraceEvent", "Tracer"]
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded occurrence."""
+    """One recorded occurrence.
+
+    ``seq`` is the tracer-assigned record order: a monotonically
+    increasing sequence number that gives events a stable total order
+    even when several fire at the same simulated instant (the engine
+    dispatches same-time events in scheduling order, so record order
+    *is* causal order within an instant).
+    """
 
     t: float
     category: str
     fields: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
 
     def __str__(self) -> str:
         parts = " ".join(f"{k}={v}" for k, v in self.fields.items())
-        return f"[{self.t:12.2f}] {self.category:20s} {parts}"
+        return f"[{self.t:12.2f} #{self.seq:06d}] {self.category:20s} {parts}"
+
+    def to_json(self) -> str:
+        """One-line canonical JSON (stable key order) for this event."""
+        import json
+        return json.dumps(
+            {"seq": self.seq, "t": self.t, "category": self.category,
+             "fields": self.fields},
+            sort_keys=True, separators=(",", ":"))
 
 
 class Tracer:
@@ -50,6 +66,7 @@ class Tracer:
             else None
         self._events: deque = deque(maxlen=capacity)
         self._counts: Counter = Counter()
+        self._seq = 0
 
     # ------------------------------------------------------------- record
 
@@ -62,8 +79,9 @@ class Tracer:
         if not self.wants(category):
             return
         self._counts[category] += 1
+        self._seq += 1
         self._events.append(TraceEvent(t=t, category=category,
-                                       fields=fields))
+                                       fields=fields, seq=self._seq))
 
     # -------------------------------------------------------------- query
 
@@ -96,8 +114,18 @@ class Tracer:
     def clear(self) -> None:
         self._events.clear()
         self._counts.clear()
+        self._seq = 0
 
     # ------------------------------------------------------------- export
+
+    def to_jsonl(self) -> str:
+        """All retained events as canonical JSON lines.
+
+        Two runs of the same deterministic simulation must produce
+        byte-identical streams; the determinism regression tests (and
+        ``repro check``) rely on this.
+        """
+        return "\n".join(e.to_json() for e in self._events)
 
     def to_chrome_trace(self, rank_field: str = "rank") -> List[dict]:
         """Events in Chrome tracing (``chrome://tracing`` /  Perfetto)

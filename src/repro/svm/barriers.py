@@ -18,7 +18,7 @@ notices, mprotect at invalidation) — the split Table 2 reports.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from .timestamps import VectorClock
 
@@ -71,13 +71,17 @@ class BarrierManager:
         self._rank_epoch = [0] * self.config.total_procs
         self.crossings = 0
 
+    def epoch_of(self, rank: int) -> int:
+        """The barrier episode ``rank`` would enter next."""
+        return self._rank_epoch[rank]
+
     def _episode(self, index: int) -> _Episode:
         ep = self._episodes.get(index)
         if ep is None:
             ep = _Episode(self.sim, self.config.nodes,
                           self.config.procs_per_node)
             self._episodes[index] = ep
-            self.sim.process(self._coordinate(ep),
+            self.sim.process(self._coordinate(ep, index),
                              name=f"barrier.{index}")
         return ep
 
@@ -181,7 +185,7 @@ class BarrierManager:
 
     # ---------------------------------------------------------- coordination
 
-    def _coordinate(self, ep: _Episode):
+    def _coordinate(self, ep: _Episode, index: int):
         """Master-side episode driver: collect arrivals, release all."""
         proto = self.proto
         cfg = self.config
@@ -190,6 +194,10 @@ class BarrierManager:
         # visible to every node.
         ep.global_clock = VectorClock(values=[
             proto.interval_log.current_index(n) for n in range(cfg.nodes)])
+        proto._trace("barrier.epoch", epoch=index,
+                     clock=ep.global_clock.values)
+        if proto.invariants is not None:
+            proto.invariants.on_barrier_epoch(index, ep.global_clock)
         total_wn = sum(ep.wn_pages)
         if proto.features.direct_writes:
             # Plain deposits of go-flags.

@@ -22,7 +22,7 @@ Semantics implemented:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .diffs import apply_diff, compute_diff, diff_payload_bytes
 from .pages import SharedRegion

@@ -19,7 +19,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, Optional, Tuple
 
-from ..hw import Message
 
 __all__ = ["InterruptLockManager"]
 
@@ -64,6 +63,9 @@ class InterruptLockManager:
 
     # -------------------------------------------------------------- helpers
 
+    def _trace(self, category: str, **fields) -> None:
+        self.proto._trace(category, **fields)
+
     def home_of(self, lock_id: int) -> int:
         return self._home_fn(lock_id)
 
@@ -86,12 +88,16 @@ class InterruptLockManager:
         cfg = self.config
         node_id = cfg.node_of(rank)
         tok = self._token(node_id, lock_id)
+        self._trace("svmlock.acquire", node=node_id, lock=lock_id,
+                    rank=rank)
         if tok.present and tok.holder is None and not tok.pending \
                 and not tok.busy:
             # The last owner keeps the lock: same-node re-acquisition
             # through the node's hardware coherence, no messages.
             self.local_fast_acquires += 1
             tok.holder = rank
+            self._trace("svmlock.granted", node=node_id, lock=lock_id,
+                        rank=rank)
             yield self.sim.timeout(cfg.protocol_op_us)
             return None
         ev = self.sim.event()
@@ -127,6 +133,8 @@ class InterruptLockManager:
                 f"rank {rank} releasing lock {lock_id} held by "
                 f"{tok.holder}")
         tok.holder = None
+        self._trace("svmlock.release", node=node_id, lock=lock_id,
+                    rank=rank, queue=tuple(tok.pending))
         yield self.sim.timeout(self.config.protocol_op_us)
         if tok.pending and not tok.busy:
             tok.busy = True
@@ -177,8 +185,10 @@ class InterruptLockManager:
 
         def body():
             if tok.pending and tok.present and tok.holder is None:
+                queue = tuple(tok.pending)
                 req_node = tok.pending.popleft()
-                yield from self._grant(node_id, lock_id, req_node)
+                yield from self._grant(node_id, lock_id, req_node,
+                                       queue=queue)
             else:
                 # nothing to transfer after all: drop the guard the
                 # release set when it scheduled us.
@@ -193,8 +203,11 @@ class InterruptLockManager:
             yield from self._grant(owner_node, lock_id, req_node)
         else:
             tok.pending.append(req_node)
+            self._trace("svmlock.wait", node=owner_node, lock=lock_id,
+                        requester=req_node, queue=tuple(tok.pending))
 
-    def _grant(self, owner_node: int, lock_id: int, req_node: int):
+    def _grant(self, owner_node: int, lock_id: int, req_node: int,
+               queue: Tuple[int, ...] = ()):
         """Transfer the lock; for remote transfers, close the interval,
         flush diffs (lazy diffing) and size the grant message by the
         write notices it must carry (Base) — exactly the asynchronous
@@ -206,6 +219,10 @@ class InterruptLockManager:
         lock — that would put two processes inside it.
         """
         tok_guard = self._token(owner_node, lock_id)
+        self._trace("svmlock.grant", node=owner_node, lock=lock_id,
+                    requester=req_node, queue=queue,
+                    present=tok_guard.present,
+                    held=tok_guard.holder is not None)
         tok_guard.busy = True
         try:
             yield from self._grant_body(owner_node, lock_id, req_node)
@@ -256,4 +273,6 @@ class InterruptLockManager:
                 f"grant of lock {lock_id} at node {node_id} with no waiter")
         rank, ev = waiters.popleft()
         tok.holder = rank
+        self._trace("svmlock.granted", node=node_id, lock=lock_id,
+                    rank=rank)
         ev.succeed(ts)

@@ -192,6 +192,9 @@ class NodePageTable:
         self._entries: Dict[int, _PageEntry] = {}
         #: pages dirtied in the node's current interval.
         self.dirty_pages: Dict[int, DiffShape] = {}
+        #: optional hook(node, gid, old, new, why) observing protection
+        #: changes — installed by the analysis invariant checker.
+        self.on_transition = None
         # Counters.
         self.read_faults = 0
         self.write_faults = 0
@@ -210,9 +213,17 @@ class NodePageTable:
 
     # -- faults ------------------------------------------------------------
 
-    def mark_valid(self, gid: int, writable: bool = False) -> None:
+    def _transition(self, gid: int, old: PageAccess, new: PageAccess,
+                    why: str) -> None:
+        if self.on_transition is not None and old is not new:
+            self.on_transition(self.node, gid, old, new, why)
+
+    def mark_valid(self, gid: int, writable: bool = False,
+                   why: str = "fault") -> None:
         e = self.entry(gid)
+        old = e.access
         e.access = PageAccess.WRITE if writable else PageAccess.READ
+        self._transition(gid, old, e.access, why)
 
     def record_write(self, gid: int, shape: DiffShape) -> bool:
         """Note a write to ``gid`` this interval.
@@ -223,7 +234,9 @@ class NodePageTable:
         first = not e.twinned
         if first:
             e.twinned = True
+        old = e.access
         e.access = PageAccess.WRITE
+        self._transition(gid, old, e.access, "write")
         if gid in self.dirty_pages:
             self.dirty_pages[gid] = self.dirty_pages[gid].merge(shape)
         else:
@@ -248,6 +261,8 @@ class NodePageTable:
             e.dirty = None
             if e.access is PageAccess.WRITE:
                 e.access = PageAccess.READ
+                self._transition(gid, PageAccess.WRITE, PageAccess.READ,
+                                 "close")
         return dirty
 
     # -- invalidations -----------------------------------------------------------
@@ -268,7 +283,9 @@ class NodePageTable:
         self.invalidations += 1
         if is_home or e.access is PageAccess.INVALID:
             return False
+        old = e.access
         e.access = PageAccess.INVALID
+        self._transition(gid, old, PageAccess.INVALID, "invalidate")
         return True
 
     def needed_versions(self, gid: int) -> Dict[int, int]:

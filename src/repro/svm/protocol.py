@@ -54,6 +54,8 @@ class HLRCProtocol:
         self.machine = machine
         #: optional repro.sim.Tracer receiving protocol events.
         self.tracer = tracer
+        #: optional repro.analysis.InvariantChecker (see its install()).
+        self.invariants = None
         self.sim = machine.sim
         self.config = machine.config
         self.features = features
@@ -80,7 +82,8 @@ class HLRCProtocol:
 
         # Synchronization managers.
         if features.ni_locks:
-            self.ni_locks = NILockManager(self.vmmc, num_locks=num_locks)
+            self.ni_locks = NILockManager(self.vmmc, num_locks=num_locks,
+                                          tracer=tracer)
             self.svm_locks = None
         else:
             self.ni_locks = None
@@ -174,7 +177,7 @@ class HLRCProtocol:
                 if other != node_id:
                     yield from self.vmmc.send(node_id, other, 24,
                                               kind="home_update")
-        self.tables[node_id].mark_valid(gid)
+        self.tables[node_id].mark_valid(gid, why="migrate")
         self.home_migrations += 1
         self.buckets[rank].charge("data", self.sim.now - t0)
 
@@ -222,7 +225,14 @@ class HLRCProtocol:
         done = self.sim.event()
         self._inflight_fetch[key] = done
         try:
+            # needed and the clock snapshot are read back-to-back (no
+            # yield between them): together they name the page version
+            # this fault is obliged to observe, which the sanitizer
+            # replays against the happens-before graph.
             needed = table.needed_versions(gid)
+            self._trace("fault.fetch", node=node_id, gid=gid,
+                        needed=tuple(sorted(needed.items())),
+                        clock=self.node_clock[node_id].values)
             home = self._ensure_home(gid, node_id)
             if home == node_id:
                 yield from self._wait_home_ready(gid, needed)
@@ -233,6 +243,7 @@ class HLRCProtocol:
             cost = self.mprotect.protect(node_id, [gid])
             yield self.sim.timeout(cost)
             table.mark_valid(gid)
+            self._trace("fault.done", node=node_id, gid=gid)
         finally:
             del self._inflight_fetch[key]
             done.succeed()
@@ -245,6 +256,9 @@ class HLRCProtocol:
             self._home_waiters.setdefault(gid, []).append((needed, ev))
             yield ev
         yield self.sim.timeout(self.config.protocol_op_us)
+        self._trace("fetch.ok", node=self.directory.home_of(gid), gid=gid,
+                    snapshot=tuple(sorted(hp.snapshot().items())),
+                    needed=tuple(sorted(needed.items())))
 
     def _fetch_base(self, node_id: int, gid: int, home: int,
                     needed: Dict[int, int]):
@@ -259,8 +273,11 @@ class HLRCProtocol:
 
         yield from self.vmmc.send(node_id, home, PAGE_REQ_BYTES,
                                   kind="page_req", on_delivered=at_home)
-        yield done
+        snapshot = yield done
         yield self.sim.timeout(self.config.notify_us)
+        self._trace("fetch.ok", node=node_id, gid=gid,
+                    snapshot=tuple(sorted((snapshot or {}).items())),
+                    needed=tuple(sorted(needed.items())))
 
     def _home_page_handler(self, gid: int, home: int,
                            needed: Dict[int, int], requester: int, done):
@@ -282,11 +299,14 @@ class HLRCProtocol:
                 yield self.sim.timeout(self.config.protocol_op_us)
                 if hp.satisfies(needed):
                     served[0] = True
+                    # The reply carries the version snapshot the home
+                    # served, so the requester can attest what it read.
+                    snap = hp.snapshot()
                     yield from self.vmmc.send(
                         home, requester,
                         self.config.page_size + PAGE_REPLY_EXTRA_BYTES,
                         kind="page_reply",
-                        on_delivered=lambda _m: done.succeed())
+                        on_delivered=lambda _m: done.succeed(snap))
 
             yield from node.handler(body(), entry_delay=entry_delay)
             if served[0]:
@@ -307,6 +327,9 @@ class HLRCProtocol:
                 node_id, home, cfg.page_size + 64,
                 on_served=hp.snapshot)
             if HomePage.snapshot_satisfies(reply.payload, needed):
+                self._trace("fetch.ok", node=node_id, gid=gid,
+                            snapshot=tuple(sorted(reply.payload.items())),
+                            needed=tuple(sorted(needed.items())))
                 return
             self.fetch_retries += 1
             self._trace("fetch.retry", node=node_id, gid=gid)
@@ -363,11 +386,14 @@ class HLRCProtocol:
         index = self.interval_log.current_index(node_id) + 1
         interval = Interval(node=node_id, index=index,
                             pages=tuple(sorted(dirty)))
-        self._trace("interval.close", node=node_id, index=index,
-                    pages=len(dirty))
         self.interval_log.append(interval)
         self.node_clock[node_id][node_id] = index
         self.pending_flush[node_id].append((index, dirty))
+        self._trace("interval.close", node=node_id, index=index,
+                    pages=len(dirty), written=interval.pages,
+                    clock=self.node_clock[node_id].values)
+        if self.invariants is not None:
+            self.invariants.on_interval_close(node_id, interval)
         return interval
 
     def close_interval_timed(self, node_id: int):
@@ -466,6 +492,7 @@ class HLRCProtocol:
 
     def _apply_at_home(self, gid: int, writer: int, index: int) -> None:
         hp = self._home(gid)
+        self._trace("home.apply", gid=gid, writer=writer, index=index)
         if hp.applied.get(writer, 0) < index:
             hp.applied[writer] = index
         waiters = self._home_waiters.get(gid)
@@ -543,6 +570,7 @@ class HLRCProtocol:
         have = self.node_clock[node_id]
         if want.dominates(have) and want == have:
             return
+        before = have.values
         notices = self.interval_log.notices_between(have, want)
         table = self.tables[node_id]
         to_protect = []
@@ -554,6 +582,12 @@ class HLRCProtocol:
                                 is_home=is_home):
                 to_protect.append(wn.page)
         self.node_clock[node_id].merge(want)
+        self._trace("clock.advance", node=node_id,
+                    clock=self.node_clock[node_id].values,
+                    want=want.values)
+        if self.invariants is not None:
+            self.invariants.on_clock_merge(
+                node_id, before, self.node_clock[node_id], want)
         cost = self.mprotect.protect(node_id, to_protect)
         if cost > 0:
             yield self.sim.timeout(cost)
@@ -696,9 +730,10 @@ class HLRCProtocol:
 
     def barrier(self, rank: int):
         """Generator: global barrier (see BarrierManager)."""
-        self._trace("barrier.enter", rank=rank)
+        epoch = self.barriers.epoch_of(rank)
+        self._trace("barrier.enter", rank=rank, epoch=epoch)
         yield from self.barriers.barrier(rank)
-        self._trace("barrier.exit", rank=rank)
+        self._trace("barrier.exit", rank=rank, epoch=epoch)
 
     # ------------------------------------------------------------- results
 

@@ -11,8 +11,8 @@ to the merged clock before touching shared data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
 
 __all__ = ["VectorClock", "WriteNotice", "Interval", "IntervalLog"]
 

@@ -48,11 +48,14 @@ class NILockManager:
     """Firmware lock queues across all NIs of one machine."""
 
     def __init__(self, vmmc: VMMC, num_locks: int,
-                 home_fn: Optional[Callable[[int], int]] = None):
+                 home_fn: Optional[Callable[[int], int]] = None,
+                 tracer=None):
         self.vmmc = vmmc
         self.machine = vmmc.machine
         self.sim = vmmc.sim
         self.config = vmmc.config
+        #: optional repro.sim.Tracer receiving ``nilock.*`` events.
+        self.tracer = tracer
         self.num_locks = num_locks
         nodes = self.config.nodes
         self._home_fn = home_fn or (lambda lock_id: lock_id % nodes)
@@ -69,6 +72,10 @@ class NILockManager:
         self.acquires = 0
         self.remote_grants = 0
         self.local_grants = 0
+
+    def _trace(self, category: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, category, **fields)
 
     # ------------------------------------------------------------- topology
 
@@ -111,6 +118,7 @@ class NILockManager:
         if lock_id not in self._tail:
             self.init_lock(lock_id)
         self.acquires += 1
+        self._trace("nilock.acquire", node=node, lock=lock_id)
         cfg = self.config
         ev = self.sim.event()
         self._host_waiters.setdefault((node, lock_id), deque()).append(ev)
@@ -185,6 +193,8 @@ class NILockManager:
             self.init_lock(lock_id)
         prev = self._tail[lock_id]
         self._tail[lock_id] = requester
+        self._trace("nilock.chain", home=home, lock=lock_id,
+                    requester=requester, prev=prev)
         if prev == home:
             self._owner_forward(home, lock_id, requester)
         else:
@@ -201,6 +211,8 @@ class NILockManager:
             self._grant(owner, lock_id, requester)
         else:
             tok.pending.append(requester)
+            self._trace("nilock.wait", node=owner, lock=lock_id,
+                        requester=requester, queue=tuple(tok.pending))
 
     def _do_release(self, node: int, lock_id: int, ts: Any) -> None:
         tok = self._token(node, lock_id)
@@ -209,12 +221,22 @@ class NILockManager:
                 f"release of lock {lock_id} not held at node {node}")
         tok.held = False
         tok.ts = ts
+        self._trace("nilock.release", node=node, lock=lock_id,
+                    queue=tuple(tok.pending))
         if tok.pending:
-            self._grant(node, lock_id, tok.pending.popleft())
+            queue = tuple(tok.pending)
+            self._grant(node, lock_id, tok.pending.popleft(), queue=queue)
 
-    def _grant(self, owner: int, lock_id: int, requester: int) -> None:
+    def _grant(self, owner: int, lock_id: int, requester: int,
+               queue: tuple = ()) -> None:
         tok = self._token(owner, lock_id)
         ts = tok.ts
+        # ``queue`` is the NI's waiter list at the grant decision (the
+        # granted requester at its head, if it was queued): the
+        # sanitizer replays it to prove FIFO transfer.
+        self._trace("nilock.grant", node=owner, lock=lock_id,
+                    requester=requester, queue=queue,
+                    present=tok.present, held=tok.held)
         if requester == owner:
             # Same-node handoff: token stays put.
             self.local_grants += 1
@@ -233,6 +255,7 @@ class NILockManager:
         tok.present = True
         tok.held = True
         tok.ts = ts
+        self._trace("nilock.granted", node=node, lock=lock_id)
         waiters = self._host_waiters.get((node, lock_id))
         if not waiters:
             raise AssertionError(

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import (CACHE, ExperimentCache, compute_figure1,
+from repro.experiments import (ExperimentCache, compute_figure1,
                                compute_figure2, compute_figure4,
                                compute_table1, compute_table2,
                                compute_table34, format_table,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.hw import Machine, MachineConfig
-from repro.svm import (GENIMA, GENIMA_MC, GENIMA_PLUS, GENIMA_SG,
+from repro.svm import (GENIMA_MC, GENIMA_PLUS, GENIMA_SG,
                        HLRCProtocol, ProtocolFeatures)
 from repro.vmmc import VMMC
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw import PAPER_16P, PAPER_32P, MachineConfig
+from repro.hw import PAPER_16P, PAPER_32P
 
 
 def test_paper_testbed_topology():

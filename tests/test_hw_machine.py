@@ -4,7 +4,6 @@ import pytest
 
 from repro.hw import Machine, MachineConfig, Message
 from repro.hw.packet import Packet
-from repro.sim import Simulator
 
 
 # -------------------------------------------------------------------- node

@@ -4,7 +4,7 @@ import pytest
 
 from repro.hwdsm import HWDSMBackend, HWDSMConfig
 from repro.runtime import run_hwdsm, run_sequential, speedup
-from repro.apps import FFT, Ocean
+from repro.apps import Ocean
 from tests.test_runtime import TinyApp
 
 

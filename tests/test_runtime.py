@@ -5,7 +5,7 @@ import pytest
 from repro.apps import Application
 from repro.hw import MachineConfig
 from repro.runtime import (LocalBackend, ParallelContext, RunResult,
-                           SVMBackend, run_on_backend, run_sequential,
+                           SVMBackend, run_sequential,
                            run_svm, speedup)
 from repro.sim import TimeBuckets
 from repro.svm import BASE, GENIMA

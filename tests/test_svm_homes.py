@@ -1,7 +1,5 @@
 """Tests for first-touch home allocation and home migration."""
 
-import pytest
-
 from repro.hw import Machine, MachineConfig
 from repro.svm import BASE, GENIMA, HLRCProtocol, PageAccess
 

@@ -1,7 +1,6 @@
 """Deeper tests of SVM synchronization: interrupt locks, NI locks under
 randomized schedules (hypothesis), barriers, flags."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hw import Machine, MachineConfig

@@ -91,6 +91,40 @@ def test_merge_dominates_both(xs, ys):
     assert m.dominates(a) and m.dominates(b)
 
 
+@given(clocks)
+def test_dominates_reflexive(xs):
+    a = VectorClock(values=xs)
+    assert a.dominates(a)
+
+
+@given(clocks, clocks)
+def test_dominates_antisymmetric(xs, ys):
+    n = min(len(xs), len(ys))
+    a = VectorClock(values=xs[:n])
+    b = VectorClock(values=ys[:n])
+    if a.dominates(b) and b.dominates(a):
+        assert a == b
+
+
+@given(clocks, clocks, clocks)
+def test_dominates_transitive(xs, ys, zs):
+    n = min(len(xs), len(ys), len(zs))
+    a = VectorClock(values=xs[:n])
+    b = VectorClock(values=ys[:n])
+    c = VectorClock(values=zs[:n])
+    if a.dominates(b) and b.dominates(c):
+        assert a.dominates(c)
+
+
+@given(clocks, clocks)
+def test_dominates_consistent_with_merge(xs, ys):
+    # The partial order and the join agree: a >= b iff a join b == a.
+    n = min(len(xs), len(ys))
+    a = VectorClock(values=xs[:n])
+    b = VectorClock(values=ys[:n])
+    assert a.dominates(b) == (a.merged(b) == a)
+
+
 # ------------------------------------------------------------ IntervalLog
 
 def test_interval_notices():

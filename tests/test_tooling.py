@@ -1,0 +1,43 @@
+"""Tooling gates: ruff/mypy configs stay green, CLI gates exit cleanly.
+
+ruff and mypy are dev-only dependencies; when they are not installed
+(minimal container), those tests skip and CI — which installs
+``.[dev]`` — enforces them.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return subprocess.run(argv, cwd=ROOT, env=env,
+                          capture_output=True, text=True)
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed")
+def test_ruff_clean():
+    proc = _run([shutil.which("ruff"), "check", "src", "tests"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed")
+def test_mypy_analysis_clean():
+    proc = _run([shutil.which("mypy"), "src/repro/analysis"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_repro_lint_gate():
+    proc = _run([sys.executable, "-m", "repro", "lint"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "lint clean" in proc.stdout

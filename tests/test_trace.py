@@ -1,7 +1,5 @@
 """Tests for the tracing facility and its protocol integration."""
 
-import pytest
-
 from repro.hw import Machine, MachineConfig
 from repro.sim import TraceEvent, Tracer
 from repro.svm import BASE, GENIMA, HLRCProtocol
