@@ -19,7 +19,7 @@ Quick start::
     print(speedup(seq, par))
 """
 
-from .hw import PAPER_16P, PAPER_32P, Machine, MachineConfig
+from .hw import PAPER_16P, PAPER_32P, FaultConfig, Machine, MachineConfig
 from .hwdsm import HWDSMBackend, HWDSMConfig
 from .runtime import (RunResult, run_hwdsm, run_on_backend, run_sequential,
                       run_svm, speedup)
@@ -29,6 +29,7 @@ from .svm import (BASE, DW, DW_RF, DW_RF_DD, GENIMA, PROTOCOL_LADDER,
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultConfig",
     "Machine",
     "MachineConfig",
     "PAPER_16P",

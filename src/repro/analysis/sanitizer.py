@@ -22,6 +22,10 @@ any app) and checks the properties the paper's argument rests on:
   version no diff application ever produced.
 * **barrier-epoch** — a process left a barrier episode before every
   process had entered it.
+* **fault-recovery** — under injected faults (``repro.faults``), every
+  dropped packet's message must eventually be acked: a drop the
+  retransmit layer never repaired means a write notice, lock grant or
+  diff silently vanished.
 
 Every finding carries the offending trace slice for debugging.
 """
@@ -306,6 +310,43 @@ class BarrierEpochCheck(SanitizerCheck):
                         f"{ev.fields.get('rank')} exited before rank "
                         f"{last_enter.fields.get('rank')} entered",
                         (ev, last_enter))
+
+
+@register_check
+class FaultRecoveryCheck(SanitizerCheck):
+    """Injected packet loss must always be repaired by the transport."""
+
+    name = "fault-recovery"
+    description = ("every dropped packet's message must eventually be "
+                   "acked by the drop-tolerant transport")
+
+    def run(self, events: Sequence[TraceEvent],
+            hb: HBGraph) -> Iterator[Finding]:
+        #: (msg_id, destination) pairs the sender saw acked.
+        acked = set()
+        for ev in events:
+            if ev.category == "retx.ack":
+                acked.add((ev.fields["msg"], ev.fields["dst"]))
+        for ev in events:
+            if ev.category != "fault.drop":
+                continue
+            if ev.fields.get("kind") == "retx_ack":
+                # A lost ack is repaired by the sender's retransmit and
+                # the receiver's re-ack of the original message.
+                need = (ev.fields["acks_msg"], ev.fields["acker"])
+                what = (f"ack for message {need[0]} from node "
+                        f"{need[1]}")
+            else:
+                need = (ev.fields["msg"], ev.fields["dst"])
+                what = (f"{ev.fields.get('kind')} message {need[0]} "
+                        f"to node {need[1]}")
+            if need not in acked:
+                yield Finding(
+                    self.name,
+                    f"dropped {what} was never acked: the message "
+                    f"(write notice, lock grant, diff...) was lost "
+                    f"despite the retransmit layer",
+                    (ev,))
 
 
 # ------------------------------------------------------------- sanitizer

@@ -5,6 +5,8 @@ Examples::
     python -m repro list
     python -m repro run --app FFT --protocol GeNIMA
     python -m repro run --app Water-nsquared --protocol Base --nodes 8
+    python -m repro run --app Water-spatial --faults loss=0.01,jitter=5
+    python -m repro faultsweep --app Water-spatial
     python -m repro ladder --app Ocean-rowwise
     python -m repro figure 2
     python -m repro table 1
@@ -18,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import PROTOCOL_LADDER, MachineConfig
+from . import PROTOCOL_LADDER, FaultConfig, MachineConfig
 from .apps import APP_REGISTRY, PAPER_APPS
 from .runtime import run_hwdsm, run_sequential, run_svm, speedup
 from .svm import GENIMA_MC, GENIMA_PLUS, GENIMA_SG
@@ -46,8 +48,19 @@ def _make_app(args):
     return cls(**cls.paper_params) if args.paper_size else cls()
 
 
+def _parse_faults(args):
+    """--faults SPEC -> FaultConfig (None when the flag is absent)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    try:
+        return FaultConfig.parse(spec)
+    except ValueError as err:
+        raise SystemExit(f"error: --faults: {err}")
+
+
 def _cmd_run(args) -> int:
-    config = MachineConfig(nodes=args.nodes)
+    config = MachineConfig(nodes=args.nodes, faults=_parse_faults(args))
     seq = run_sequential(_make_app(args), config=config)
     if args.protocol == "Origin":
         from .hwdsm import HWDSMConfig
@@ -66,7 +79,10 @@ def _cmd_run(args) -> int:
           f"acqrel={mean.acqrel / 1000:.1f} "
           f"barrier={mean.barrier / 1000:.1f}")
     for key in ("interrupts", "messages", "page_fetches", "fetch_retries",
-                "diffs_sent", "diff_runs_sent", "wn_messages"):
+                "diffs_sent", "diff_runs_sent", "wn_messages",
+                "packets_dropped", "packets_duplicated",
+                "packets_reordered", "retransmits", "retx_timeouts",
+                "dup_discards"):
         if key in result.stats:
             print(f"  {key:15s} : {result.stats[key]}")
     return 0
@@ -125,6 +141,18 @@ def _cmd_traffic(args) -> int:
     return 0
 
 
+def _cmd_faultsweep(args) -> int:
+    """Completion time vs. injected loss rate for one app/protocol."""
+    from .experiments import (DEFAULT_LOSS_RATES, compute_faultsweep,
+                              render_faultsweep)
+    feats = PROTOCOLS[args.protocol]
+    rows = compute_faultsweep(args.app, feats,
+                              loss_rates=args.loss or DEFAULT_LOSS_RATES,
+                              seed=args.seed, jitter_us=args.jitter)
+    print(render_faultsweep(rows, args.app, feats.name))
+    return 0
+
+
 def _cmd_calibrate(_args) -> int:
     from .experiments import (measure_comm_layer, measure_page_fetch,
                               render_calibration)
@@ -138,11 +166,13 @@ def _cmd_check(args) -> int:
     apps = args.app or list(CHECK_APPS)
     protocols = ([PROTOCOLS[p] for p in args.protocol]
                  if args.protocol else list(PROTOCOL_LADDER))
+    faults = _parse_faults(args)
+    config = MachineConfig(faults=faults) if faults is not None else None
     total = 0
     for app_name in apps:
         for feats in protocols:
             result, findings = sanitize_run(
-                APP_REGISTRY[app_name](), feats,
+                APP_REGISTRY[app_name](), feats, config=config,
                 check_invariants=not args.no_invariants)
             status = "ok" if not findings else f"{len(findings)} finding(s)"
             print(f"{app_name:18s} {feats.name:10s} "
@@ -201,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="use the paper's problem size (slow)")
     run.add_argument("--check", action="store_true",
                      help="assert protocol invariants while running")
+    run.add_argument("--faults", metavar="SPEC",
+                     help="inject deterministic network faults, e.g. "
+                          "loss=0.01,jitter=5 (arms the drop-tolerant "
+                          "transport)")
     run.set_defaults(fn=_cmd_run)
 
     ladder = sub.add_parser("ladder",
@@ -223,6 +257,21 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(APP_REGISTRY))
     traffic.set_defaults(fn=_cmd_traffic)
 
+    sweep = sub.add_parser(
+        "faultsweep", help="completion time vs. injected packet loss")
+    sweep.add_argument("--app", required=True,
+                       choices=sorted(APP_REGISTRY))
+    sweep.add_argument("--protocol", default="GeNIMA",
+                       choices=sorted(PROTOCOLS))
+    sweep.add_argument("--loss", type=float, action="append",
+                       help="loss rate(s) to sweep (default: "
+                            "0 0.01 0.02 0.05 0.1)")
+    sweep.add_argument("--jitter", type=float, default=0.0,
+                       help="per-packet latency jitter bound in us")
+    sweep.add_argument("--seed", type=int, default=1,
+                       help="fault-injector seed")
+    sweep.set_defaults(fn=_cmd_faultsweep)
+
     sub.add_parser("calibrate",
                    help="communication-layer microbenchmarks") \
         .set_defaults(fn=_cmd_calibrate)
@@ -238,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="protocol(s) to check (default: the ladder)")
     check.add_argument("--no-invariants", action="store_true",
                        help="skip the runtime invariant checker")
+    check.add_argument("--faults", metavar="SPEC",
+                       help="sanitize runs under injected faults, "
+                            "e.g. loss=0.05")
     check.set_defaults(fn=_cmd_check)
 
     lint = sub.add_parser(

@@ -7,6 +7,8 @@ from .ablations import (ablate_diff_scatter, ablate_eager_wn,
 from .cache import CACHE, ExperimentCache
 from .calibration import (measure_comm_layer, measure_page_fetch,
                           render_calibration)
+from .faultsweep import (DEFAULT_LOSS_RATES, compute_faultsweep,
+                         render_faultsweep)
 from .figures import (compute_figure1, compute_figure2, compute_figure3,
                       compute_figure4, render_figure1, render_figure2,
                       render_figure3, render_figure4)
@@ -33,6 +35,7 @@ __all__ = [
     "compute_table2", "render_table2",
     "compute_table34", "render_table34",
     "compute_table5", "render_table5",
+    "DEFAULT_LOSS_RATES", "compute_faultsweep", "render_faultsweep",
     "ablate_hol_blocking", "ablate_post_queue",
     "ablate_diff_scatter", "ablate_eager_wn", "render_ablation",
     "interrupt_cost_sensitivity", "render_sensitivity",

@@ -1,0 +1,24 @@
+"""Fault injection and drop tolerance for the simulated fabric.
+
+``FaultConfig`` (re-exported from :mod:`repro.hw.config`) describes the
+fault model; attaching one to ``MachineConfig.faults`` makes
+:class:`repro.hw.machine.Machine` install both halves of this package:
+:class:`FaultInjector` (deterministic per-link loss / duplication /
+reordering / jitter) and :class:`ReliabilityLayer` (per-channel
+sequence numbers, receiver dedup + acks, sender timeout/retransmit
+with capped exponential backoff).  With ``faults=None`` neither exists
+and the fabric is byte-for-byte the paper's perfect crossbar.
+"""
+
+from ..hw.config import FaultConfig
+from .injector import FaultInjector, MsgIds
+from .reliable import ACK_BYTES, ACK_KIND, ReliabilityLayer
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "MsgIds",
+    "ReliabilityLayer",
+    "ACK_KIND",
+    "ACK_BYTES",
+]

@@ -1,0 +1,145 @@
+"""Deterministic fault injection at the Network/NIC boundary.
+
+The seed state models the fabric of the paper's testbed as a perfect
+crossbar: constant latency, no loss, no duplication, per-source order
+preserved.  Real user-level NIs enjoy none of those guarantees, and the
+GeNIMA mechanisms (the stale-fetch retry loop, the NI lock chain) were
+designed to survive an imperfect fabric.  :class:`FaultInjector` wraps
+:meth:`repro.hw.network.Network.deliver` and, per packet, may
+
+* **drop** it (probability ``loss``),
+* **duplicate** it (probability ``dup`` — a second copy follows one
+  wire latency behind),
+* **delay** it by a bounded extra amount (probability ``reorder``,
+  uniform in ``[0, reorder_window_us)`` — enough to overtake later
+  packets from the same source), or
+* **jitter** its latency (uniform in ``[0, jitter_us)`` on every
+  packet).
+
+Every decision is drawn from a named per-link
+``random.Random(f"{seed}:{src}->{dst}")`` stream.  Because the
+simulation itself is deterministic, the per-link packet order is
+deterministic, so identical seeds give byte-identical traces — the
+property the determinism regression tests assert.
+
+Injected faults are announced on the attached tracer as ``fault.*``
+events; the sanitizer's fault-recovery check replays them against the
+``retx.*`` stream of :mod:`repro.faults.reliable` to prove that no
+dropped packet's message was silently lost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Tuple
+
+from ..hw.config import FaultConfig, MachineConfig
+from ..hw.packet import Packet
+
+__all__ = ["FaultInjector", "MsgIds"]
+
+
+class MsgIds:
+    """Dense per-run message ids for trace events.
+
+    ``Message.msg_id`` is drawn from a process-global counter, so its
+    raw value depends on how many messages *earlier runs in the same
+    process* created.  Trace streams must be byte-identical across
+    same-seed runs, so ``fault.*``/``retx.*`` events name messages by a
+    dense id assigned in first-trace order (which is deterministic).
+    The injector and the reliability layer share one table so both
+    streams agree on every message's name.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self):
+        self._map: Dict[int, int] = {}
+
+    def map(self, raw: int) -> int:
+        return self._map.setdefault(raw, len(self._map))
+
+
+class FaultInjector:
+    """Per-link packet fault decisions between injection and receive."""
+
+    def __init__(self, sim, config: MachineConfig, msg_ids=None):
+        if config.faults is None:
+            raise ValueError("FaultInjector needs config.faults")
+        self.sim = sim
+        self.config = config
+        self.fcfg: FaultConfig = config.faults
+        #: optional repro.sim.Tracer receiving ``fault.*`` events.
+        self.tracer = None
+        self.msg_ids = msg_ids if msg_ids is not None else MsgIds()
+        self._rngs: Dict[Tuple[int, int], random.Random] = {}
+        # Counters.
+        self.drops = 0
+        self.dups = 0
+        self.reorders = 0
+        self.jittered = 0
+
+    def _trace(self, category: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, category, **fields)
+
+    def _rng(self, src: int, dst: int) -> random.Random:
+        rng = self._rngs.get((src, dst))
+        if rng is None:
+            # A string seed hashes through SHA-512 inside Random, so it
+            # is stable across processes (unlike hash()-based seeding).
+            rng = random.Random(f"{self.fcfg.seed}:{src}->{dst}")
+            self._rngs[(src, dst)] = rng
+        return rng
+
+    def deliver(self, pkt: Packet, receive) -> None:
+        """Carry ``pkt``, applying link faults; ``receive(pkt)`` is the
+        destination NI's arrival entry point."""
+        f = self.fcfg
+        src, dst = pkt.src, pkt.dst
+        wire = self.config.wire_latency_us
+        if not f.affects(src, dst):
+            self.sim.schedule(wire, lambda: receive(pkt))
+            return
+        rng = self._rng(src, dst)
+        if f.loss and rng.random() < f.loss:
+            self.drops += 1
+            fields = dict(src=src, dst=dst, kind=pkt.kind,
+                          msg=self.msg_ids.map(pkt.message.msg_id),
+                          idx=pkt.index, size=pkt.size)
+            if pkt.kind == "retx_ack":
+                # Recovery of a lost ack is the *original* message's
+                # retransmit + re-ack; name it for the sanitizer.
+                acks_msg, acker = pkt.message.payload
+                fields["acks_msg"] = self.msg_ids.map(acks_msg)
+                fields["acker"] = acker
+            self._trace("fault.drop", **fields)
+            return
+        latency = wire
+        if f.jitter_us:
+            self.jittered += 1
+            latency += rng.uniform(0.0, f.jitter_us)
+        if f.reorder and rng.random() < f.reorder:
+            self.reorders += 1
+            latency += rng.uniform(0.0, f.reorder_window_us)
+            self._trace("fault.reorder", src=src, dst=dst, kind=pkt.kind,
+                        msg=self.msg_ids.map(pkt.message.msg_id),
+                        idx=pkt.index)
+        self.sim.schedule(latency, lambda: receive(pkt))
+        if f.dup and rng.random() < f.dup:
+            self.dups += 1
+            self._trace("fault.dup", src=src, dst=dst, kind=pkt.kind,
+                        msg=self.msg_ids.map(pkt.message.msg_id),
+                        idx=pkt.index)
+            # The copy keeps the packet's identity (message, index) so
+            # the receiver's dedup discards it, but carries its own
+            # stage timestamps.
+            copy = dataclasses.replace(pkt)
+            self.sim.schedule(latency + wire, lambda: receive(copy))
+
+    def counters(self) -> Dict[str, int]:
+        return {"packets_dropped": self.drops,
+                "packets_duplicated": self.dups,
+                "packets_reordered": self.reorders,
+                "packets_jittered": self.jittered}

@@ -1,6 +1,6 @@
 """Hardware model: SMP nodes, Myrinet-style NIs, crossbar network."""
 
-from .config import PAPER_16P, PAPER_32P, MachineConfig
+from .config import PAPER_16P, PAPER_32P, FaultConfig, MachineConfig
 from .machine import Machine
 from .network import Network
 from .nic import NIC
@@ -8,6 +8,7 @@ from .node import Node
 from .packet import SMALL_MESSAGE_BYTES, Message, Packet
 
 __all__ = [
+    "FaultConfig",
     "MachineConfig",
     "PAPER_16P",
     "PAPER_32P",

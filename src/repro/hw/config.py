@@ -17,10 +17,101 @@ layer hits these numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Optional, Tuple
 
-__all__ = ["MachineConfig", "PAPER_16P", "PAPER_32P"]
+__all__ = ["FaultConfig", "MachineConfig", "PAPER_16P", "PAPER_32P"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault model for the network fabric.
+
+    All fault decisions are drawn from named per-link
+    ``random.Random(f"{seed}:{src}->{dst}")`` streams, so identical
+    seeds give byte-identical traces regardless of which links carry
+    traffic first.  Attaching a FaultConfig to
+    :attr:`MachineConfig.faults` also arms the drop-tolerant transport
+    (:mod:`repro.faults.reliable`): per-channel sequence numbers,
+    message acks, and timeout/retransmit with capped exponential
+    backoff.  With ``faults=None`` (the default) neither layer exists
+    and the fabric is the paper's perfect crossbar.
+    """
+
+    # -- fabric degradation --------------------------------------------------
+    loss: float = 0.0            #: per-packet drop probability
+    dup: float = 0.0             #: per-packet duplication probability
+    reorder: float = 0.0         #: probability of a bounded extra delay
+    reorder_window_us: float = 10.0   #: max extra delay for reordered pkts
+    jitter_us: float = 0.0       #: uniform [0, jitter_us) latency jitter
+    #: restrict faults to these (src, dst) links; None = every link.
+    links: Optional[Tuple[Tuple[int, int], ...]] = None
+    seed: int = 0                #: fault-stream seed (independent of RNG seed)
+
+    # -- drop tolerance ------------------------------------------------------
+    #: The backoff cap must exceed the worst-case congestion round trip:
+    #: under heavy diff traffic (the Barnes direct-diff pathology) a
+    #: packet can sit tens of milliseconds in the receiver's single
+    #: FIFO delivery path before its ack is even generated, and a cap
+    #: below that burns retransmit attempts on copies that are merely
+    #: queued, not lost.
+    retx_timeout_us: float = 400.0        #: initial retransmit timeout
+    retx_timeout_max_us: float = 51200.0  #: backoff cap
+    retx_max: int = 16                    #: retransmit attempts before failing
+
+    def __post_init__(self):
+        for name in ("loss", "dup", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p!r}")
+        if self.jitter_us < 0 or self.reorder_window_us < 0:
+            raise ValueError("jitter/reorder windows must be >= 0")
+        if self.retx_timeout_us <= 0 or self.retx_timeout_max_us <= 0:
+            raise ValueError("retransmit timeouts must be positive")
+        if self.retx_max < 1:
+            raise ValueError("retx_max must be >= 1")
+
+    @property
+    def degrades(self) -> bool:
+        """True if the fabric actually loses/duplicates/delays packets."""
+        return bool(self.loss or self.dup or self.reorder or self.jitter_us)
+
+    def affects(self, src: int, dst: int) -> bool:
+        return self.links is None or (src, dst) in self.links
+
+    #: CLI spelling -> field name.
+    _ALIASES = {"jitter": "jitter_us", "window": "reorder_window_us",
+                "rto": "retx_timeout_us", "rto_max": "retx_timeout_max_us",
+                "retries": "retx_max"}
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultConfig":
+        """Build a FaultConfig from ``"loss=0.01,jitter=5,seed=3"``.
+
+        Keys are field names or the short aliases ``jitter``,
+        ``window``, ``rto``, ``rto_max`` and ``retries``.
+        """
+        types = {f.name: f.type for f in fields(cls)}
+        kwargs = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"fault spec item {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            key = cls._ALIASES.get(key.strip(), key.strip())
+            if key == "links" or key not in types:
+                raise ValueError(f"unknown fault knob {key!r}")
+            caster = int if key in ("seed", "retx_max") else float
+            try:
+                kwargs[key] = caster(value)
+            except ValueError:
+                raise ValueError(
+                    f"fault knob {key!r} needs a {caster.__name__}, "
+                    f"got {value!r}") from None
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -57,6 +148,15 @@ class MachineConfig:
     ni_sg_per_run_us: float = 0.8
     notify_us: float = 2.0           # completion/notification cost at host
     fetch_retry_backoff_us: float = 20.0  # wait before re-fetching a stale page
+    #: stale-timestamp re-fetches allowed before the protocol gives up
+    #: with a SimulationError (a home copy that never advances would
+    #: otherwise livelock the simulation).
+    fetch_retry_max: int = 64
+
+    # -- fault injection ------------------------------------------------------
+    #: None = the paper's perfect fabric; a FaultConfig arms the
+    #: deterministic fault injector and the drop-tolerant transport.
+    faults: Optional[FaultConfig] = None
 
     # -- interrupts & protocol handler ----------------------------------------
     interrupt_us: float = 55.0       # deliver, vector, enter handler

@@ -28,6 +28,24 @@ class Machine:
             self.network.attach(node_id, nic)
             self.nodes.append(node)
             self.nics.append(nic)
+        self.fault_injector = None
+        self.reliability = None
+        if self.config.faults is not None:
+            # Imported here: repro.faults builds on repro.hw, so a
+            # top-level import would be circular.
+            from ..faults import FaultInjector, MsgIds, ReliabilityLayer
+            ids = MsgIds()  # one table: fault.* and retx.* must agree
+            self.fault_injector = FaultInjector(self.sim, self.config,
+                                                msg_ids=ids)
+            self.network.fault_injector = self.fault_injector
+            self.reliability = ReliabilityLayer(self, msg_ids=ids)
+
+    def attach_tracer(self, tracer) -> None:
+        """Point the fault/retransmit layers at ``tracer`` (no-op when
+        fault injection is off)."""
+        if self.fault_injector is not None:
+            self.fault_injector.tracer = tracer
+            self.reliability.tracer = tracer
 
     def node_of(self, rank: int) -> Node:
         """The node hosting global process ``rank``."""

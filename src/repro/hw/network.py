@@ -25,6 +25,9 @@ class Network:
         self.sim = sim
         self.config = config
         self._nics: Dict[int, "NIC"] = {}
+        #: installed by Machine when config.faults is set; None keeps
+        #: the fabric a perfect crossbar.
+        self.fault_injector = None
         self.packets_carried = 0
         self.bytes_carried = 0
 
@@ -43,7 +46,9 @@ class Network:
         Arrival is scheduled ``wire_latency_us`` after injection; since
         the latency is constant and injections from one NI are ordered,
         per-source in-order delivery (the only ordering VMMC needs) is
-        preserved.
+        preserved.  With a fault injector installed none of that holds:
+        packets may be lost, duplicated or delayed, and the reliability
+        layer above the NICs recovers.
         """
         dst = pkt.dst
         if dst not in self._nics:
@@ -52,5 +57,8 @@ class Network:
             raise ValueError("loopback packets must not enter the network")
         self.packets_carried += 1
         self.bytes_carried += pkt.size
+        if self.fault_injector is not None:
+            self.fault_injector.deliver(pkt, self._nics[dst].receive)
+            return
         self.sim.schedule(self.config.wire_latency_us,
                           lambda: self._nics[dst].receive(pkt))

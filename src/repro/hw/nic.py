@@ -59,6 +59,9 @@ class NIC:
         #: called when any packet finishes its life at this NI
         #: (delivered or firmware-consumed) — feeds the monitor.
         self.on_packet_done: Optional[Callable[[Packet], None]] = None
+        #: drop-tolerant transport (repro.faults.reliable); installed
+        #: by the Machine when fault injection is armed, else None.
+        self.reliability = None
 
         # Counters.
         self.packets_sent = 0
@@ -163,6 +166,8 @@ class NIC:
         cfg = self.config
         while True:
             pkt = yield self.out_queue.get()
+            if self.reliability is not None:
+                self.reliability.on_inject(self, pkt)
             yield from self.lanai.use(cfg.ni_proc_us
                                       + pkt.message.extra_src_lanai_us)
             yield from self.out_link.transfer(pkt.size)
@@ -192,6 +197,12 @@ class NIC:
             pkt = yield self.in_queue.get()
             yield from self.lanai.use(cfg.ni_proc_us
                                       + pkt.message.extra_dst_lanai_us)
+            if self.reliability is not None \
+                    and not self.reliability.accept(self, pkt):
+                # A copy this NI already processed (injected duplicate
+                # or spurious retransmission): examined and discarded
+                # on the LANai, never touches the host.
+                continue
             if not pkt.message.deliver_to_host:
                 handler = self.fw_handlers.get(pkt.kind)
                 if handler is None:
@@ -213,6 +224,8 @@ class NIC:
                 self._finish(pkt)
 
     def _finish(self, pkt: Packet) -> None:
+        if self.reliability is not None:
+            self.reliability.packet_done(self, pkt)
         if self.on_packet_done is not None:
             self.on_packet_done(pkt)
         msg = pkt.message

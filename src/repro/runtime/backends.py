@@ -21,6 +21,8 @@ class SVMBackend(Backend):
         self.monitor = PerfMonitor(self.machine) if with_monitor else None
         self.protocol = HLRCProtocol(self.machine, features,
                                      vmmc=self.vmmc, tracer=tracer)
+        if tracer is not None:
+            self.machine.attach_tracer(tracer)
         self.config = config
         self.features = features
         self.invariants = None

@@ -88,6 +88,10 @@ def _stats_snapshot(backend) -> dict:
         snap["lock_acquires"] = protocol.ni_locks.acquires
     elif protocol.svm_locks is not None:
         snap["lock_acquires"] = protocol.svm_locks.acquires
+    machine = protocol.machine
+    if machine.fault_injector is not None:
+        snap.update(machine.fault_injector.counters())
+        snap.update(machine.reliability.counters())
     return snap
 
 

@@ -4,6 +4,15 @@ The paper reports means, breakdown percentages and contention ratios;
 :class:`RunningStat` accumulates the moments those need without storing
 samples, and :class:`TimeBuckets` is the per-process execution-time
 breakdown accumulator behind Figure 3.
+
+**Message-accounting convention** (used by ``VMMC.messages_sent`` /
+``bytes_sent`` and everything derived from them, e.g. the ``messages``
+and ``bytes`` columns of the experiment tables): counts are per
+*destination packet stream*.  A unicast send counts one message of
+``size`` bytes; a multicast to ``k`` destinations counts ``k``
+messages and ``k * size`` bytes, exactly as if it were ``k`` unicast
+sends — the NI-multicast saving shows up in host post overhead and
+source DMA, not in the wire-traffic accounting.
 """
 
 from __future__ import annotations

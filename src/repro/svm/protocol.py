@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..hw import Machine
-from ..sim import TimeBuckets
+from ..sim import SimulationError, TimeBuckets
 from ..vmmc import NILockManager, VMMC
 from .barriers import BarrierManager
 from .diffs import DiffShape
@@ -318,9 +318,15 @@ class HLRCProtocol:
 
     def _fetch_rf(self, node_id: int, gid: int, home: int,
                   needed: Dict[int, int]):
-        """Remote-fetch path with the timestamp-check retry loop."""
+        """Remote-fetch path with the timestamp-check retry loop.
+
+        The loop is bounded by ``fetch_retry_max``: a home copy that
+        never reaches the needed versions (lost diff, protocol bug)
+        must surface as a diagnostic, not livelock the simulation.
+        """
         cfg = self.config
         hp = self._home(gid)
+        retries = 0
         while True:
             self.page_fetches += 1
             reply = yield from self.vmmc.fetch(
@@ -332,6 +338,18 @@ class HLRCProtocol:
                             needed=tuple(sorted(needed.items())))
                 return
             self.fetch_retries += 1
+            retries += 1
+            if retries > cfg.fetch_retry_max:
+                self._trace("fetch.retry_exhausted", node=node_id,
+                            gid=gid, home=home, retries=retries,
+                            needed=tuple(sorted(needed.items())),
+                            snapshot=tuple(sorted(reply.payload.items())))
+                raise SimulationError(
+                    f"page {gid}: node {node_id} re-fetched from home "
+                    f"{home} {retries} times without versions {needed} "
+                    f"appearing (have {reply.payload}); the home copy "
+                    f"never advanced (fetch_retry_max="
+                    f"{cfg.fetch_retry_max})")
             self._trace("fetch.retry", node=node_id, gid=gid)
             yield self.sim.timeout(cfg.fetch_retry_backoff_us)
 

@@ -121,6 +121,10 @@ class VMMC:
                           payload=payload)
             if on_delivered is not None:
                 on_delivered(msg)
+            if await_delivery:
+                # Synchronous deposits pay the completion notification
+                # on the local path too, matching the remote path.
+                yield self.sim.timeout(cfg.notify_us)
             return msg
 
         msg = Message(src=src, dst=dst, size=size, kind=kind,
@@ -161,7 +165,11 @@ class VMMC:
         dsts = tuple(d for d in dsts if d != src)
         if not dsts:
             raise ValueError("multicast needs at least one destination")
-        self.messages_sent += 1
+        # Accounting is per destination packet stream (the convention
+        # documented in repro.sim.stats): a multicast to k destinations
+        # counts like k unicast sends even though only one descriptor
+        # is posted and one source DMA happens.
+        self.messages_sent += len(dsts)
         self.bytes_sent += size * len(dsts)
         msg = Message(src=src, dst=dsts[0], size=size, kind=kind,
                       payload=payload, multicast_dsts=dsts,

@@ -92,6 +92,39 @@ def test_loopback_deposit_is_local_memcpy():
     assert machine.network.packets_carried == 0
 
 
+def test_loopback_sync_send_pays_notification():
+    machine, vmmc = make_stack()
+    sim = machine.sim
+    t = []
+
+    def sender():
+        yield from vmmc.send(1, 1, size=4096, await_delivery=True)
+        t.append(sim.now)
+
+    sim.process(sender())
+    sim.run()
+    cfg = machine.config
+    # A synchronous deposit charges the completion notification on the
+    # in-node path too, just like the remote path does.
+    assert t[0] == pytest.approx(cfg.post_overhead_us
+                                 + 4096 / cfg.host_memcpy_mbps
+                                 + cfg.notify_us)
+
+
+def test_multicast_accounting_is_per_destination():
+    machine, vmmc = make_stack()
+
+    def sender():
+        yield from vmmc.send_multicast(0, [1, 2, 3], size=512)
+
+    machine.sim.process(sender())
+    machine.sim.run()
+    # The convention of repro.sim.stats: a multicast to k destinations
+    # counts as k messages AND k payloads, like k unicast sends.
+    assert vmmc.messages_sent == 3
+    assert vmmc.bytes_sent == 3 * 512
+
+
 def test_in_order_delivery_per_pair():
     machine, vmmc = make_stack()
     sim = machine.sim
