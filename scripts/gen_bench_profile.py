@@ -1,0 +1,54 @@
+"""Regenerate BENCH_profile.json: per-variant mean Figure-3 breakdowns.
+
+Usage: python scripts/gen_bench_profile.py [out.json]
+
+Profiles two representative apps (one barrier-dominated, one
+lock-using) across the protocol ladder on the default 4-node machine
+and writes the mean bucket breakdowns, wall times, residuals and
+station utilization — the seeded baseline the CI profile smoke can be
+diffed against.
+"""
+import json
+import sys
+
+from repro import PROTOCOL_LADDER
+from repro.apps import APP_REGISTRY
+from repro.experiments import collect_profile
+from repro.obs import PROFILE_SCHEMA
+
+APPS = ("FFT", "Water-spatial")
+SLICE_US = 2000.0
+
+
+def main(out: str) -> None:
+    entries = []
+    for app_name in APPS:
+        cls = APP_REGISTRY[app_name]
+        for feats in PROTOCOL_LADDER:
+            profile = collect_profile(cls(), feats, slice_us=SLICE_US,
+                                      check=True)
+            entries.append({
+                "app": profile.app,
+                "system": profile.system,
+                "nodes": profile.nodes,
+                "nprocs": profile.nprocs,
+                "time_us": profile.time_us,
+                "mean_buckets_us": profile.mean_buckets(),
+                "mean_wall_us": (sum(profile.wall_us)
+                                 / max(len(profile.wall_us), 1)),
+                "max_residual_us": profile.max_residual_us,
+                "accounting_ok": profile.accounting_ok,
+                "utilization": profile.utilization,
+            })
+            print(f"{profile.app:14s} {profile.system:9s} "
+                  f"time={profile.time_us / 1000:9.1f}ms "
+                  f"residual={profile.max_residual_us:.2e}us")
+    with open(out, "w") as fh:
+        json.dump({"schema": PROFILE_SCHEMA, "slice_us": SLICE_US,
+                   "entries": entries}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_profile.json")

@@ -16,6 +16,10 @@ commit points:
 * **barrier epoch agreement** — every barrier episode's global clock
   must equal the interval log's closed indices and be monotone across
   episodes.
+* **time accounting** — at the end of the timed section every rank's
+  Figure-3 bucket sum must equal its wall time within
+  :data:`~repro.obs.profiler.TIME_TOLERANCE_US` (each blocked
+  microsecond lands in exactly one bucket).
 
 :class:`HLRCProtocol` calls the ``on_*`` hooks when a checker is
 installed; the runner's ``--check`` flag (and ``repro check``) toggles
@@ -26,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
+from ..obs import TIME_TOLERANCE_US
 from ..svm.pages import PageAccess
 from ..svm.timestamps import Interval, VectorClock
 
@@ -145,3 +150,15 @@ class InvariantChecker:
                 f"barrier epoch {epoch} clock {clock.values} regressed "
                 f"from {self._last_epoch_clock.values}")
         self._last_epoch_clock = clock.copy()
+
+    def on_run_complete(self, rank: int, wall_us: float, buckets,
+                        tol: float = TIME_TOLERANCE_US) -> None:
+        """Called by the runner once per rank after the timed section."""
+        self.checked += 1
+        residual = buckets.total - wall_us
+        if abs(residual) > tol:
+            self._fail(
+                f"time accounting broken at rank {rank}: bucket sum "
+                f"{buckets.total:.6f} us misses wall {wall_us:.6f} us "
+                f"by {residual:.3e} us (every blocked microsecond must "
+                f"land in exactly one bucket)")

@@ -26,6 +26,9 @@ any app) and checks the properties the paper's argument rests on:
   dropped packet's message must eventually be acked: a drop the
   retransmit layer never repaired means a write notice, lock grant or
   diff silently vanished.
+* **time-accounting** — on traces carrying end-of-run ``prof.rank``
+  records (emitted when a run is both traced and profiled), each
+  rank's Figure-3 bucket sum must equal its timed-section wall time.
 
 Every finding carries the offending trace slice for debugging.
 """
@@ -346,6 +349,31 @@ class FaultRecoveryCheck(SanitizerCheck):
                     f"dropped {what} was never acked: the message "
                     f"(write notice, lock grant, diff...) was lost "
                     f"despite the retransmit layer",
+                    (ev,))
+
+
+@register_check
+class TimeAccountingCheck(SanitizerCheck):
+    """Per rank, the Figure-3 bucket sum must equal the timed wall."""
+
+    name = "time-accounting"
+    description = ("per-rank bucket sums must equal timed-section wall "
+                   "time (prof.rank records)")
+
+    def run(self, events: Sequence[TraceEvent],
+            hb: HBGraph) -> Iterator[Finding]:
+        # Imported here to keep repro.obs optional for trace replay.
+        from ..obs import TIME_TOLERANCE_US
+        for ev in events:
+            if ev.category != "prof.rank":
+                continue
+            residual = ev.fields.get("residual_us", 0.0)
+            if abs(residual) > TIME_TOLERANCE_US:
+                yield Finding(
+                    self.name,
+                    f"rank {ev.fields.get('rank')}: bucket sum "
+                    f"{ev.fields.get('bucket_us')} us misses wall "
+                    f"{ev.fields.get('wall_us')} us by {residual:.3e} us",
                     (ev,))
 
 

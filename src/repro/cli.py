@@ -10,6 +10,7 @@ Examples::
     python -m repro ladder --app Ocean-rowwise
     python -m repro figure 2
     python -m repro table 1
+    python -m repro profile --app fft --variant base --variant genima
     python -m repro calibrate
     python -m repro check --app Barnes-spatial
     python -m repro lint
@@ -18,6 +19,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import PROTOCOL_LADDER, FaultConfig, MachineConfig
@@ -153,6 +155,54 @@ def _cmd_faultsweep(args) -> int:
     return 0
 
 
+def _resolve_name(value: str, names, what: str) -> str:
+    """Case-insensitive lookup of ``value`` among ``names``."""
+    matches = [n for n in names if n.lower() == value.lower()]
+    if not matches:
+        raise SystemExit(
+            f"error: unknown {what} {value!r} (choose from "
+            f"{', '.join(sorted(names))})")
+    return matches[0]
+
+
+def _cmd_profile(args) -> int:
+    from .experiments import collect_profile
+    from .obs import (PROFILE_SCHEMA, render_profiles, render_profiles_html,
+                      render_timeline, render_utilization)
+    app_name = _resolve_name(args.app, APP_REGISTRY, "application")
+    variant_names = [_resolve_name(v, PROTOCOLS, "protocol variant")
+                     for v in (args.variant or ["GeNIMA"])]
+    cls = APP_REGISTRY[app_name]
+    config = MachineConfig(nodes=args.nodes)
+    profiles = []
+    for name in variant_names:
+        app = cls(**cls.paper_params) if args.paper_size else cls()
+        profiles.append(collect_profile(app, PROTOCOLS[name],
+                                        config=config,
+                                        slice_us=args.slice_us))
+    payload = {"schema": PROFILE_SCHEMA,
+               "profiles": [p.to_dict() for p in profiles]}
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(render_profiles_html(profiles))
+        print(f"wrote {args.html}")
+    print()
+    print(render_profiles(profiles))
+    print()
+    print(render_timeline(profiles[-1]))
+    print()
+    print(render_utilization(profiles[-1]))
+    bad = [p for p in profiles if not p.accounting_ok]
+    for p in bad:
+        print(f"TIME ACCOUNTING VIOLATED: {p.app}/{p.system} max "
+              f"residual {p.max_residual_us:.3e} us", file=sys.stderr)
+    return 1 if bad else 0
+
+
 def _cmd_calibrate(_args) -> int:
     from .experiments import (measure_comm_layer, measure_page_fetch,
                               render_calibration)
@@ -271,6 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=1,
                        help="fault-injector seed")
     sweep.set_defaults(fn=_cmd_faultsweep)
+
+    prof = sub.add_parser(
+        "profile", help="profiled run: phase timelines, utilization "
+                        "and a JSON profile (Figure 3 style)")
+    prof.add_argument("--app", required=True,
+                      help="application (case-insensitive)")
+    prof.add_argument("--variant", action="append",
+                      help="protocol variant(s), case-insensitive; "
+                           "repeatable (default: GeNIMA; pass Base "
+                           "first for the paper's normalization)")
+    prof.add_argument("--nodes", type=int, default=4,
+                      help="SMP nodes (4 procs each)")
+    prof.add_argument("--slice-us", type=float, default=1000.0,
+                      help="profiler slice width in microseconds")
+    prof.add_argument("--out", default="profile.json",
+                      help="JSON profile output path")
+    prof.add_argument("--html", metavar="PATH",
+                      help="also write an HTML report")
+    prof.add_argument("--paper-size", action="store_true",
+                      help="use the paper's problem size (slow)")
+    prof.set_defaults(fn=_cmd_profile)
 
     sub.add_parser("calibrate",
                    help="communication-layer microbenchmarks") \

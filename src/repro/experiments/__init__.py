@@ -12,6 +12,7 @@ from .faultsweep import (DEFAULT_LOSS_RATES, compute_faultsweep,
 from .figures import (compute_figure1, compute_figure2, compute_figure3,
                       compute_figure4, render_figure1, render_figure2,
                       render_figure3, render_figure4)
+from .profile import collect_profile, collect_profiles
 from .reporting import format_table
 from .sensitivity import (interrupt_cost_sensitivity, render_scaling,
                           render_sensitivity, scaling_study)
@@ -23,6 +24,7 @@ from .tables import (compute_table1, compute_table2, compute_table34,
 __all__ = [
     "CACHE",
     "ExperimentCache",
+    "collect_profile", "collect_profiles",
     "format_table",
     "measure_comm_layer",
     "measure_page_fetch",

@@ -1,0 +1,42 @@
+"""The ``repro profile`` experiment: profiled runs across variants.
+
+One :func:`collect_profile` call runs an application under one
+protocol variant with a :class:`~repro.obs.PhaseProfiler` attached and
+returns the JSON-ready :class:`~repro.obs.Profile`;
+:func:`collect_profiles` sweeps a list of variants (pass Base first to
+get the paper's Figure-3 normalization).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..hw import MachineConfig
+from ..obs import PhaseProfiler, Profile
+from ..runtime import run_svm
+
+__all__ = ["collect_profile", "collect_profiles"]
+
+
+def collect_profile(app, features, config: Optional[MachineConfig] = None,
+                    slice_us: float = 1000.0, check: bool = False) -> Profile:
+    """Run ``app`` under ``features`` with profiling; return the profile.
+
+    ``check`` additionally installs the runtime invariant checker, so a
+    time-accounting violation raises at the offending rank instead of
+    only flagging the profile.
+    """
+    profiler = PhaseProfiler(slice_us=slice_us)
+    result = run_svm(app, features, config=config, profiler=profiler,
+                     check=check)
+    return profiler.build_profile(result)
+
+
+def collect_profiles(app_factory, variants: Sequence,
+                     config: Optional[MachineConfig] = None,
+                     slice_us: float = 1000.0,
+                     check: bool = False) -> List[Profile]:
+    """Profile ``app_factory()`` under each variant, in order."""
+    return [collect_profile(app_factory(), feats, config=config,
+                            slice_us=slice_us, check=check)
+            for feats in variants]

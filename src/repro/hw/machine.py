@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..obs import MetricsRegistry
 from ..sim import Simulator
 from .config import MachineConfig
 from .network import Network
@@ -19,15 +20,20 @@ class Machine:
     def __init__(self, config: MachineConfig = None, sim: Simulator = None):
         self.config = config or MachineConfig()
         self.sim = sim or Simulator()
+        #: machine-wide metric namespace; every layer registers its
+        #: instruments here (see repro.obs.metrics).
+        self.metrics = MetricsRegistry()
         self.network = Network(self.sim, self.config)
         self.nodes: List[Node] = []
         self.nics: List[NIC] = []
         for node_id in range(self.config.nodes):
             node = Node(self.sim, self.config, node_id)
-            nic = NIC(self.sim, self.config, node_id, self.network)
+            nic = NIC(self.sim, self.config, node_id, self.network,
+                      metrics=self.metrics)
             self.network.attach(node_id, nic)
             self.nodes.append(node)
             self.nics.append(nic)
+            node.register_metrics(self.metrics)
         self.fault_injector = None
         self.reliability = None
         if self.config.faults is not None:
@@ -39,6 +45,12 @@ class Machine:
                                                 msg_ids=ids)
             self.network.fault_injector = self.fault_injector
             self.reliability = ReliabilityLayer(self, msg_ids=ids)
+            for layer, prefix in ((self.fault_injector, "faults"),
+                                  (self.reliability, "retx")):
+                for key in layer.counters():
+                    self.metrics.gauge(
+                        f"{prefix}.{key}",
+                        lambda la=layer, k=key: la.counters()[k])
 
     def attach_tracer(self, tracer) -> None:
         """Point the fault/retransmit layers at ``tracer`` (no-op when

@@ -29,7 +29,7 @@ class NIC:
     """One Myrinet-style network interface, owned by one node."""
 
     def __init__(self, sim: Simulator, config: MachineConfig, node_id: int,
-                 network: "Network"):
+                 network: "Network", metrics=None):
         self.sim = sim
         self.config = config
         self.node_id = node_id
@@ -67,6 +67,12 @@ class NIC:
         self.packets_sent = 0
         self.packets_received = 0
         self.fw_packets = 0
+
+        #: registry-owned end-to-end packet latency (post -> done);
+        #: None when the NIC is built without a MetricsRegistry.
+        self.delivery_latency = None
+        if metrics is not None:
+            self.register_metrics(metrics)
 
         sim.process(self._send_loop(), name=f"ni{node_id}.send")
         sim.process(self._inject_loop(), name=f"ni{node_id}.inject")
@@ -223,7 +229,21 @@ class NIC:
                     self.on_delivery(pkt)
                 self._finish(pkt)
 
+    def register_metrics(self, metrics) -> None:
+        """Join a MetricsRegistry: counters as gauges, plus a
+        registry-owned latency RunningStat."""
+        prefix = f"nic.{self.node_id}"
+        metrics.register_gauges(prefix, self, "packets_sent",
+                                "packets_received", "fw_packets")
+        metrics.gauge(f"{prefix}.lanai_busy_us", self.lanai.sample_busy)
+        metrics.gauge(f"{prefix}.pci_busy_us", self.pci.sample_busy)
+        metrics.gauge(f"{prefix}.link_busy_us", self.out_link.sample_busy)
+        self.delivery_latency = metrics.stat(f"{prefix}.delivery_latency_us")
+
     def _finish(self, pkt: Packet) -> None:
+        if self.delivery_latency is not None \
+                and pkt.t_enqueue is not None:
+            self.delivery_latency.add(self.sim.now - pkt.t_enqueue)
         if self.reliability is not None:
             self.reliability.packet_done(self, pkt)
         if self.on_packet_done is not None:

@@ -36,6 +36,14 @@ class Node:
         self.interrupts_taken = 0
         self.interrupt_busy_us = 0.0
 
+    def register_metrics(self, metrics) -> None:
+        """Export this node's counters into a MetricsRegistry."""
+        prefix = f"node.{self.node_id}"
+        metrics.register_gauges(prefix, self, "interrupts_taken",
+                                "interrupt_busy_us")
+        metrics.gauge(f"{prefix}.proto_busy_us",
+                      self.protocol_proc.sample_busy)
+
     # -- compute ------------------------------------------------------------
 
     def compute_time(self, t_us: float, bus_intensity: float = 0.0,

@@ -1,0 +1,24 @@
+"""Observability layer: metrics registry, time-sliced profiling,
+report rendering, and the time-accounting invariant."""
+
+from .metrics import Counter, Gauge, MetricsRegistry
+from .profiler import (PROFILE_SCHEMA, STATIONS, TIME_TOLERANCE_US,
+                       PhaseProfiler, Profile, check_time_accounting)
+from .report import (render_profiles, render_profiles_html,
+                     render_timeline, render_utilization)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "Profile",
+    "PROFILE_SCHEMA",
+    "STATIONS",
+    "TIME_TOLERANCE_US",
+    "check_time_accounting",
+    "render_profiles",
+    "render_profiles_html",
+    "render_timeline",
+    "render_utilization",
+]

@@ -1,0 +1,155 @@
+"""Named metric instruments and the per-machine registry.
+
+Every simulated layer (protocol, VMMC, NIC, node, faults) historically
+grew ad-hoc counter attributes that each consumer had to know about.
+:class:`MetricsRegistry` is the single namespace those layers register
+into instead: one hierarchical name per instrument, one ``snapshot()``
+that serializes everything (the ``repro profile`` JSON and the
+experiment tables both read it).
+
+Three instrument kinds:
+
+* :class:`Counter` — a registry-owned monotonic count (or sum); new
+  metrics should be counters so the registry is their home.
+* :class:`Gauge` — a named binding to a value computed on demand.
+  Pre-existing layer counters (``VMMC.messages_sent``,
+  ``NIC.packets_sent``, ...) are exported this way: the attribute
+  stays a plain number — preserving value-capture semantics for all
+  existing code — while the registry owns the *name*.
+* :class:`~repro.sim.RunningStat` — streaming count/mean/min/max for
+  sampled quantities (latencies, occupancies).
+
+Names are dot-hierarchical (``svm.page_fetches``,
+``nic.0.packets_sent``).  Re-registering a name rebinds it: layers
+that can be instantiated more than once per machine (tests build a
+bare ``VMMC`` next to a protocol-owned one) simply take over the name,
+last instance wins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+
+from ..sim import RunningStat
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A registry-owned monotonic counter (integer or accumulated sum)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Number = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r}: negative increment {amount!r}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value!r})"
+
+
+class Gauge:
+    """A named binding to a value read on demand."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], Number]):
+        self.name = name
+        self.fn = fn
+
+    def read(self) -> Number:
+        return self.fn()
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r})"
+
+
+Instrument = Union[Counter, Gauge, RunningStat]
+
+
+class MetricsRegistry:
+    """One namespace of instruments per simulated machine."""
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+
+    # -------------------------------------------------------------- register
+
+    def counter(self, name: str, value: Number = 0) -> Counter:
+        """Create (or rebind) a counter; returns the new instrument."""
+        instrument = Counter(name, value)
+        self._instruments[name] = instrument
+        return instrument
+
+    def gauge(self, name: str, fn: Callable[[], Number]) -> Gauge:
+        """Bind ``name`` to ``fn()``, read at snapshot time."""
+        instrument = Gauge(name, fn)
+        self._instruments[name] = instrument
+        return instrument
+
+    def stat(self, name: str) -> RunningStat:
+        """Create (or rebind) a RunningStat accumulator."""
+        instrument = RunningStat()
+        self._instruments[name] = instrument
+        return instrument
+
+    def register_gauges(self, prefix: str, obj: object, *attrs: str) -> None:
+        """Export plain counter attributes of ``obj`` as gauges.
+
+        This is how layers with pre-existing ad-hoc counters join the
+        registry without changing their hot-path increments.
+        """
+        for attr in attrs:
+            getattr(obj, attr)  # fail fast on typos
+            self.gauge(f"{prefix}.{attr}",
+                       lambda o=obj, a=attr: getattr(o, a))
+
+    # ----------------------------------------------------------------- query
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._instruments))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self) -> Iterator[Tuple[str, Instrument]]:
+        return iter(sorted(self._instruments.items()))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> Dict[str, object]:
+        """All instruments as plain JSON-serializable values.
+
+        Counters and gauges flatten to numbers; RunningStats to a
+        ``{count, total, mean, min, max}`` dict (min/max are None while
+        empty, never ``inf``).
+        """
+        out: Dict[str, object] = {}
+        for name, instrument in self:
+            if isinstance(instrument, Counter):
+                out[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[name] = instrument.read()
+            else:
+                out[name] = {
+                    "count": instrument.count,
+                    "total": instrument.total,
+                    "mean": instrument.mean,
+                    "min": instrument.min if instrument.count else None,
+                    "max": instrument.max if instrument.count else None,
+                }
+        return out

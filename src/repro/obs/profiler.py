@@ -1,0 +1,280 @@
+"""Time-sliced profiling of a simulated run.
+
+The paper's argument is a cost-accounting one: Figure 3's per-process
+execution-time breakdowns and the NI-occupancy discussion explain *why*
+each NI mechanism helps.  A single end-of-run :class:`TimeBuckets` per
+rank cannot show *when* the time went, so :class:`PhaseProfiler`
+samples the per-rank buckets and the contended hardware stations at
+fixed slice boundaries (an engine-level hook, no simulation events) and
+assembles:
+
+* a **phase timeline** — per slice, per rank, how much time landed in
+  each Figure-3 bucket during that slice;
+* **utilization timelines** — per slice, per node, the busy fraction of
+  the host protocol processor, the NI LANai, the PCI/DMA path and the
+  outgoing link;
+* a **profile** — the above plus final breakdowns, per-rank wall times,
+  the machine's metric snapshot, and the time-accounting residuals.
+
+The always-on invariant behind the bugfix half of this module: every
+blocked microsecond of a rank's timed section must land in exactly one
+bucket, so ``sum(buckets) == wall time`` within
+:data:`TIME_TOLERANCE_US`.  :func:`check_time_accounting` evaluates it
+on any :class:`~repro.runtime.results.RunResult`; the runtime invariant
+checker and the ``repro profile`` CLI both call it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import BUCKETS
+
+__all__ = ["PhaseProfiler", "Profile", "TIME_TOLERANCE_US",
+           "check_time_accounting"]
+
+#: |sum(buckets) - wall| beyond this is an accounting bug (microseconds).
+TIME_TOLERANCE_US = 1e-6
+
+#: stations sampled per node, in report order.
+STATIONS = ("host_proto", "lanai", "pci", "link")
+
+#: profile JSON schema version (bump on breaking change).
+PROFILE_SCHEMA = 1
+
+
+def check_time_accounting(result,
+                          tol: float = TIME_TOLERANCE_US
+                          ) -> List[Tuple[int, float, float]]:
+    """Evaluate the sum-equals-wall invariant on a run result.
+
+    Returns ``(rank, wall_us, residual_us)`` triples for every rank
+    whose bucket sum misses its timed-section wall time by more than
+    ``tol`` (empty list == invariant holds).  Results without per-rank
+    wall times (sequential / hardware-DSM runs) trivially pass.
+    """
+    violations = []
+    if not result.wall_us or not result.buckets:
+        return violations
+    for rank, (wall, buckets) in enumerate(zip(result.wall_us,
+                                               result.buckets)):
+        residual = buckets.total - wall
+        if abs(residual) > tol:
+            violations.append((rank, wall, residual))
+    return violations
+
+
+@dataclass
+class Profile:
+    """Everything one profiled run produces, JSON-serializable."""
+
+    app: str
+    system: str
+    nodes: int
+    nprocs: int
+    slice_us: float
+    time_us: float
+    wall_us: List[float]
+    buckets: List[Dict[str, float]]
+    barrier_protocol_us: List[float]
+    residual_us: List[float]
+    slices: List[dict] = field(default_factory=list)
+    utilization: List[Dict[str, float]] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def max_residual_us(self) -> float:
+        return max((abs(r) for r in self.residual_us), default=0.0)
+
+    @property
+    def accounting_ok(self) -> bool:
+        return self.max_residual_us <= TIME_TOLERANCE_US
+
+    def mean_buckets(self) -> Dict[str, float]:
+        out = {name: 0.0 for name in BUCKETS}
+        if not self.buckets:
+            return out
+        for b in self.buckets:
+            for name in BUCKETS:
+                out[name] += b.get(name, 0.0)
+        return {name: v / len(self.buckets) for name, v in out.items()}
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "app": self.app,
+            "system": self.system,
+            "nodes": self.nodes,
+            "nprocs": self.nprocs,
+            "slice_us": self.slice_us,
+            "time_us": self.time_us,
+            "invariant": {
+                "max_residual_us": self.max_residual_us,
+                "tolerance_us": TIME_TOLERANCE_US,
+                "ok": self.accounting_ok,
+            },
+            "ranks": [
+                {
+                    "rank": rank,
+                    "wall_us": self.wall_us[rank],
+                    "residual_us": self.residual_us[rank],
+                    "barrier_protocol_us": self.barrier_protocol_us[rank],
+                    "buckets": self.buckets[rank],
+                }
+                for rank in range(len(self.buckets))
+            ],
+            "timeline": {"slice_us": self.slice_us, "slices": self.slices},
+            "utilization": self.utilization,
+            "metrics": self.metrics,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+class PhaseProfiler:
+    """Samples bucket and station state at fixed slice boundaries.
+
+    Attach to an SVM backend *before* running, pass the instance to the
+    runner (``run_svm(..., profiler=p)``), then read
+    :attr:`~PhaseProfiler.slices` or build a :class:`Profile`::
+
+        profiler = PhaseProfiler(slice_us=1000.0)
+        result = run_svm(app, GENIMA, profiler=profiler)
+        profile = profiler.build_profile(result)
+
+    Sampling uses :meth:`Simulator.add_slice_hook`: no events enter the
+    heap, so an unprofiled run's schedule (and trace) is untouched, and
+    the simulation still terminates when its processes do.
+    """
+
+    def __init__(self, slice_us: float = 1000.0):
+        if slice_us <= 0:
+            raise ValueError(f"slice_us must be positive, got {slice_us!r}")
+        self.slice_us = slice_us
+        self.slices: List[dict] = []
+        self.protocol = None
+        self.machine = None
+        self.sim = None
+        self._hook = None
+        self._last_t = 0.0
+        self._t_attach = 0.0
+        self._t_final: Optional[float] = None
+        self._last_buckets: List[Dict[str, float]] = []
+        self._last_busy: List[Dict[str, float]] = []
+        self._base_busy: List[Dict[str, float]] = []
+
+    # ---------------------------------------------------------------- wiring
+
+    def attach(self, backend) -> "PhaseProfiler":
+        """Hook into an SVM backend (must expose protocol + machine)."""
+        if self._hook is not None:
+            raise RuntimeError("profiler already attached")
+        self.protocol = backend.protocol
+        self.machine = backend.machine
+        self.sim = self.machine.sim
+        nprocs = self.machine.config.total_procs
+        self._t_attach = self._last_t = self.sim.now
+        self._last_buckets = [dict.fromkeys(BUCKETS, 0.0)
+                              for _ in range(nprocs)]
+        self._last_busy = [self._busy_now(n)
+                           for n in range(self.machine.config.nodes)]
+        self._base_busy = [dict(b) for b in self._last_busy]
+        self._hook = self.sim.add_slice_hook(self.slice_us, self._sample)
+        return self
+
+    def on_timed_start(self, rank: int) -> None:
+        """The runner resets rank accounting at the timed-section start;
+        re-baseline so the reset does not read as negative progress."""
+        self._last_buckets[rank] = dict.fromkeys(BUCKETS, 0.0)
+
+    def finalize(self) -> None:
+        """Take the trailing partial slice and detach the engine hook."""
+        if self._hook is None:
+            return
+        if self.sim.now > self._last_t:
+            self._sample(self.sim.now)
+        self._t_final = self.sim.now
+        self.sim.remove_slice_hook(self._hook)
+        self._hook = None
+
+    # -------------------------------------------------------------- sampling
+
+    def _stations(self, node_id: int) -> Dict[str, object]:
+        node = self.machine.nodes[node_id]
+        nic = self.machine.nics[node_id]
+        return {"host_proto": node.protocol_proc, "lanai": nic.lanai,
+                "pci": nic.pci, "link": nic.out_link}
+
+    def _busy_now(self, node_id: int) -> Dict[str, float]:
+        return {name: station.sample_busy()
+                for name, station in self._stations(node_id).items()}
+
+    def _sample(self, t: float) -> None:
+        width = t - self._last_t
+        if width <= 0:
+            return
+        ranks = []
+        for rank, last in enumerate(self._last_buckets):
+            current = self.protocol.buckets[rank].as_dict()
+            delta = {}
+            for name in BUCKETS:
+                cur = current[name]
+                # A smaller value means the accumulator was replaced
+                # (timed-section reset): the fresh value is the delta.
+                delta[name] = cur - last[name] if cur >= last[name] else cur
+            self._last_buckets[rank] = current
+            ranks.append(delta)
+        utilization = []
+        for node_id, last in enumerate(self._last_busy):
+            busy = self._busy_now(node_id)
+            utilization.append({
+                name: (busy[name] - last[name]) / width
+                for name in STATIONS
+            })
+            self._last_busy[node_id] = busy
+        self.slices.append({"t0": self._last_t, "t1": t,
+                            "ranks": ranks, "utilization": utilization})
+        self._last_t = t
+
+    # --------------------------------------------------------------- profile
+
+    def utilization_totals(self) -> List[Dict[str, float]]:
+        """Per node: busy fraction of each station over the profiled
+        window (attach to finalize)."""
+        t_end = self._t_final if self._t_final is not None else self.sim.now
+        span = t_end - self._t_attach
+        if span <= 0:
+            return [dict.fromkeys(STATIONS, 0.0) for _ in self._base_busy]
+        out = []
+        for node_id, base in enumerate(self._base_busy):
+            busy = self._busy_now(node_id)
+            out.append({name: (busy[name] - base[name]) / span
+                        for name in STATIONS})
+        return out
+
+    def build_profile(self, result) -> Profile:
+        """Assemble the JSON-ready profile for a finished run."""
+        if self._hook is not None:
+            self.finalize()
+        wall = list(result.wall_us)
+        buckets = [b.as_dict() for b in result.buckets]
+        residuals = [b.total - w
+                     for b, w in zip(result.buckets, wall)]
+        return Profile(
+            app=result.app,
+            system=result.system,
+            nodes=self.machine.config.nodes,
+            nprocs=result.nprocs,
+            slice_us=self.slice_us,
+            time_us=result.time_us,
+            wall_us=wall,
+            buckets=buckets,
+            barrier_protocol_us=list(result.barrier_protocol_us),
+            residual_us=residuals,
+            slices=self.slices,
+            utilization=self.utilization_totals(),
+            metrics=self.machine.metrics.snapshot(),
+        )

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..sim import BUCKETS, TimeBuckets
+from ..sim import BUCKETS, SimulationError, TimeBuckets
 
 __all__ = ["RunResult", "speedup"]
 
@@ -18,6 +18,9 @@ class RunResult:
     system: str              # "Base", "DW", ..., "GeNIMA", "Origin", "seq"
     nprocs: int
     time_us: float           # parallel (or sequential) execution time
+    #: per-rank timed-section wall time; the sum-equals-wall invariant
+    #: compares each entry with the rank's bucket total.
+    wall_us: List[float] = field(default_factory=list)
     buckets: List[TimeBuckets] = field(default_factory=list)
     barrier_protocol_us: List[float] = field(default_factory=list)
     mprotect_us: float = 0.0
@@ -77,7 +80,15 @@ class RunResult:
 
 
 def speedup(sequential: RunResult, parallel: RunResult) -> float:
-    """T_seq / T_par, the paper's speedup definition."""
+    """T_seq / T_par, the paper's speedup definition.
+
+    Raises :class:`~repro.sim.SimulationError` (not a bare ValueError)
+    naming the offending run when the parallel time is non-positive, so
+    experiment sweeps fail with an attributable error.
+    """
     if parallel.time_us <= 0:
-        raise ValueError("parallel time must be positive")
+        raise SimulationError(
+            f"speedup({parallel.app}/{parallel.system}, "
+            f"nprocs={parallel.nprocs}): parallel time must be positive, "
+            f"got {parallel.time_us!r} us")
     return sequential.time_us / parallel.time_us

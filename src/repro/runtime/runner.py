@@ -19,8 +19,14 @@ __all__ = ["run_svm", "run_sequential", "run_hwdsm", "run_on_backend"]
 
 
 def run_on_backend(app, backend, system: str,
-                   nprocs: Optional[int] = None) -> RunResult:
-    """Execute ``app`` on ``backend`` and collect a RunResult."""
+                   nprocs: Optional[int] = None,
+                   profiler=None) -> RunResult:
+    """Execute ``app`` on ``backend`` and collect a RunResult.
+
+    ``profiler`` (a :class:`repro.obs.PhaseProfiler`) samples per-rank
+    buckets and station utilization at slice boundaries; only SVM
+    backends (those with a protocol) can be profiled.
+    """
     nprocs = nprocs or backend.nprocs
     sim = backend.sim
     regions = app.setup(backend)
@@ -30,6 +36,11 @@ def run_on_backend(app, backend, system: str,
 
     protocol = getattr(backend, "protocol", None)
     monitor = getattr(backend, "monitor", None)
+    if profiler is not None:
+        if protocol is None:
+            raise ValueError(
+                f"{system}: profiling requires an SVM backend")
+        profiler.attach(backend)
 
     def driver(rank):
         ctx = app.context(backend, rank, nprocs)
@@ -40,6 +51,8 @@ def run_on_backend(app, backend, system: str,
             # Timed section starts: clear this rank's accounting.
             protocol.buckets[rank] = TimeBuckets()
             protocol.barrier_protocol_us[rank] = 0.0
+            if profiler is not None:
+                profiler.on_timed_start(rank)
         yield from app.process(ctx, regions)
         end_times[rank] = sim.now
         finished[0] += 1
@@ -52,22 +65,46 @@ def run_on_backend(app, backend, system: str,
         raise RuntimeError(
             f"{app.name}/{system}: only {finished[0]}/{nprocs} "
             f"processes finished (deadlock?)")
+    if profiler is not None:
+        profiler.finalize()
 
     result = RunResult(
         app=app.name,
         system=system,
         nprocs=nprocs,
         time_us=max(end_times) - min(start_times),
+        wall_us=[end_times[r] - start_times[r] for r in range(nprocs)],
     )
     if protocol is not None:
         result.buckets = list(protocol.buckets)
         result.barrier_protocol_us = list(protocol.barrier_protocol_us)
         result.mprotect_us = protocol.mprotect.grand_total_us
         result.stats = _stats_delta(baseline, _stats_snapshot(backend))
+        _report_time_accounting(backend, protocol, result, profiler)
     if monitor is not None:
         result.monitor_small = monitor.ratios("small").as_dict()
         result.monitor_large = monitor.ratios("large").as_dict()
     return result
+
+
+def _report_time_accounting(backend, protocol, result, profiler) -> None:
+    """End-of-run invariant: ``sum(buckets) == wall``, per rank.
+
+    Reports through the runtime invariant checker when one is installed
+    (``--check``), and leaves ``prof.rank`` records in the trace when
+    the run is both traced *and* profiled, so the offline sanitizer can
+    re-check.  Untraced or unprofiled runs' traces stay byte-identical.
+    """
+    checker = getattr(backend, "invariants", None)
+    tracer = getattr(protocol, "tracer", None)
+    for rank, wall in enumerate(result.wall_us):
+        buckets = result.buckets[rank]
+        if checker is not None:
+            checker.on_run_complete(rank, wall, buckets)
+        if tracer is not None and profiler is not None:
+            tracer.record(protocol.sim.now, "prof.rank", rank=rank,
+                          wall_us=wall, bucket_us=buckets.total,
+                          residual_us=buckets.total - wall)
 
 
 def _stats_snapshot(backend) -> dict:
@@ -102,16 +139,18 @@ def _stats_delta(before: dict, after: dict) -> dict:
 def run_svm(app, features: ProtocolFeatures,
             config: Optional[MachineConfig] = None,
             with_monitor: bool = True, tracer=None,
-            check: bool = False) -> RunResult:
+            check: bool = False, profiler=None) -> RunResult:
     """Run ``app`` on the SVM cluster under one protocol variant.
 
     ``tracer`` records the protocol event stream (for the offline
-    sanitizer); ``check`` installs the runtime invariant checker.
+    sanitizer); ``check`` installs the runtime invariant checker;
+    ``profiler`` attaches a :class:`repro.obs.PhaseProfiler`.
     """
     backend = SVMBackend(config or MachineConfig(), features,
                          with_monitor=with_monitor, tracer=tracer,
                          check=check)
-    return run_on_backend(app, backend, system=features.name)
+    return run_on_backend(app, backend, system=features.name,
+                          profiler=profiler)
 
 
 def run_sequential(app, config: Optional[MachineConfig] = None) -> RunResult:

@@ -209,6 +209,18 @@ class Process(Event):
         target.add_callback(self._resume)
 
 
+class _SliceHook:
+    """One registered time-slice observer (see ``add_slice_hook``)."""
+
+    __slots__ = ("width", "fn", "next_at")
+
+    def __init__(self, width: float, fn: Callable[[float], None],
+                 next_at: float):
+        self.width = width
+        self.fn = fn
+        self.next_at = next_at
+
+
 class Simulator:
     """The event loop: a time-ordered queue of triggered events."""
 
@@ -217,6 +229,34 @@ class Simulator:
         self._heap: List = []
         self._seq = 0
         self._crashed: List = []
+        self._slice_hooks: List[_SliceHook] = []
+
+    # -- time-slice hooks ---------------------------------------------------
+
+    def add_slice_hook(self, width: float,
+                       fn: Callable[[float], None]) -> _SliceHook:
+        """Call ``fn(boundary_time)`` at every crossed multiple of
+        ``width`` during :meth:`run`.
+
+        Boundaries fire lazily, just before the first event at-or-past
+        them is dispatched, with ``now`` set to the boundary — so a
+        hook observes exactly the simulation state as of that instant.
+        No heap events are created: an idle simulation still drains,
+        and with no hooks registered the loop is unchanged (this is
+        what keeps unprofiled runs byte-identical).
+
+        Hooks must only *observe* (sample counters, copy state); they
+        must not schedule events or resume processes.  Returns a handle
+        for :meth:`remove_slice_hook`.
+        """
+        if width <= 0:
+            raise ValueError(f"slice width must be positive, got {width!r}")
+        hook = _SliceHook(width, fn, self._now + width)
+        self._slice_hooks.append(hook)
+        return hook
+
+    def remove_slice_hook(self, hook: _SliceHook) -> None:
+        self._slice_hooks.remove(hook)
 
     @property
     def now(self) -> float:
@@ -294,6 +334,12 @@ class Simulator:
                 self._now = until
                 break
             heapq.heappop(heap)
+            if self._slice_hooks:
+                for hook in self._slice_hooks:
+                    while hook.next_at <= when:
+                        self._now = hook.next_at
+                        hook.fn(hook.next_at)
+                        hook.next_at += hook.width
             self._now = when
             ev._dispatch()
             if self._crashed:

@@ -93,6 +93,16 @@ class Resource:
         self.busy_time += self._in_use * (now - self._last_change)
         self._last_change = now
 
+    def sample_busy(self) -> float:
+        """Cumulative busy time *as of now*, including the open span.
+
+        ``busy_time`` only accrues on state changes; utilization
+        sampling (``repro.obs``) needs the value mid-span without
+        mutating accounting state.
+        """
+        return self.busy_time + self._in_use * (self.sim.now
+                                                - self._last_change)
+
 
 class Store:
     """A FIFO buffer of items with optional bounded capacity.
@@ -203,3 +213,7 @@ class RateServer:
     @property
     def busy(self) -> bool:
         return self._res.in_use > 0
+
+    def sample_busy(self) -> float:
+        """Cumulative station busy time as of now (see Resource)."""
+        return self._res.sample_busy()

@@ -64,10 +64,25 @@ class RunningStat:
         return math.sqrt(self.variance)
 
     def merge(self, other: "RunningStat") -> "RunningStat":
-        """Combine two accumulators (Chan's parallel algorithm)."""
+        """Combine two accumulators (Chan's parallel algorithm).
+
+        An empty side contributes nothing: its sentinel ``inf``/
+        ``-inf`` min/max never reach the merged accumulator, and
+        merging two empties yields an empty (not a NaN mean or an
+        infinite range in a report).
+        """
         merged = RunningStat()
         n = self.count + other.count
         if n == 0:
+            return merged
+        if self.count == 0 or other.count == 0:
+            src = other if self.count == 0 else self
+            merged.count = src.count
+            merged.total = src.total
+            merged._mean = src._mean
+            merged._m2 = src._m2
+            merged.min = src.min
+            merged.max = src.max
             return merged
         delta = other._mean - self._mean
         merged.count = n
@@ -82,6 +97,8 @@ class RunningStat:
         return merged
 
     def __repr__(self) -> str:
+        if not self.count:
+            return "RunningStat(n=0)"
         return (f"RunningStat(n={self.count}, mean={self.mean:.3f}, "
                 f"min={self.min:.3f}, max={self.max:.3f})")
 

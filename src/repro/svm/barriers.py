@@ -121,11 +121,14 @@ class BarrierManager:
             ep.node_released_at[node_id] = self.sim.now
         # Announce-to-release is coordination + communication time
         # (e.g. a diff-message flood delaying the control traffic);
-        # the remainder of the wait is load imbalance.
+        # the remainder of the wait is load imbalance.  The sentinel for
+        # "never announced" is None, not falsiness: an announce at sim
+        # time exactly 0.0 is a real announce and must not be dropped.
+        announced = ep.node_announced_at[node_id]
+        if announced is None:
+            announced = ep.node_released_at[node_id]
         proto.barrier_protocol_us[rank] += max(
-            ep.node_released_at[node_id]
-            - (ep.node_announced_at[node_id] or ep.node_released_at[node_id]),
-            0.0)
+            ep.node_released_at[node_id] - announced, 0.0)
 
         # First process to resume on each node applies the invalidations.
         if not ep.apply_started[node_id]:

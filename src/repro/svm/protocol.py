@@ -103,6 +103,12 @@ class HLRCProtocol:
         self.wn_messages = 0
         self.home_allocations = 0
         self.home_migrations = 0
+        machine.metrics.register_gauges(
+            "svm", self, "page_fetches", "fetch_retries", "diffs_sent",
+            "diff_runs_sent", "wn_messages", "home_allocations",
+            "home_migrations")
+        machine.metrics.gauge("svm.interrupts",
+                              lambda: self.total_interrupts)
 
     def _trace(self, category: str, **fields) -> None:
         if self.tracer is not None:

@@ -78,6 +78,8 @@ class VMMC:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.fetches = 0
+        machine.metrics.register_gauges("vmmc", self, "messages_sent",
+                                        "bytes_sent", "fetches")
 
     # -------------------------------------------------------------- dispatch
 

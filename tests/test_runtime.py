@@ -7,7 +7,7 @@ from repro.hw import MachineConfig
 from repro.runtime import (LocalBackend, ParallelContext, RunResult,
                            SVMBackend, run_sequential,
                            run_svm, speedup)
-from repro.sim import TimeBuckets
+from repro.sim import SimulationError, TimeBuckets
 from repro.svm import BASE, GENIMA
 
 
@@ -142,7 +142,7 @@ def test_speedup_definition():
     par = run_svm(TinyApp(work_us=1000.0), GENIMA)
     s = speedup(seq, par)
     assert 0 < s <= 16.5
-    with pytest.raises(ValueError):
+    with pytest.raises(SimulationError, match="x/y"):
         speedup(seq, RunResult(app="x", system="y", nprocs=1, time_us=0.0))
 
 
