@@ -4,8 +4,9 @@ Usage: python scripts/gen_bench_profile.py [out.json]
 
 Profiles two representative apps (one barrier-dominated, one
 lock-using) across the protocol ladder on the default 4-node machine
-and writes the mean bucket breakdowns, wall times, residuals and
-station utilization — the seeded baseline the CI profile smoke can be
+and writes the mean bucket breakdowns, wall times, residuals, station
+utilization and a critical-path summary (path length plus the top-3
+bucket shares) — the seeded baseline the CI profile smoke can be
 diffed against.
 """
 import json
@@ -13,11 +14,28 @@ import sys
 
 from repro import PROTOCOL_LADDER
 from repro.apps import APP_REGISTRY
-from repro.experiments import collect_profile
+from repro.experiments import collect_critpath, collect_profile
 from repro.obs import PROFILE_SCHEMA
 
 APPS = ("FFT", "Water-spatial")
 SLICE_US = 2000.0
+
+
+def critpath_summary(cls, feats) -> dict:
+    """Critical-path length and its top-3 bucket shares (a second,
+    spanned run: spans keep the schedule identical, so its wall time
+    matches the profiled run's)."""
+    from repro.analysis import bucket_shares
+    run = collect_critpath(cls(), feats, check=True)
+    shares = bucket_shares(run.path)
+    top3 = sorted(shares, key=lambda b: -shares[b])[:3]
+    return {
+        "total_us": run.path.total_us,
+        "start_skew_us": run.path.start_skew_us,
+        "residual_us": run.path.residual_us,
+        "steps": len(run.path.steps),
+        "top_buckets": {b: shares[b] for b in top3},
+    }
 
 
 def main(out: str) -> None:
@@ -27,6 +45,7 @@ def main(out: str) -> None:
         for feats in PROTOCOL_LADDER:
             profile = collect_profile(cls(), feats, slice_us=SLICE_US,
                                       check=True)
+            critpath = critpath_summary(cls, feats)
             entries.append({
                 "app": profile.app,
                 "system": profile.system,
@@ -39,10 +58,15 @@ def main(out: str) -> None:
                 "max_residual_us": profile.max_residual_us,
                 "accounting_ok": profile.accounting_ok,
                 "utilization": profile.utilization,
+                "critpath": critpath,
             })
+            top = ",".join(f"{b}={s:.0%}"
+                           for b, s in critpath["top_buckets"].items())
             print(f"{profile.app:14s} {profile.system:9s} "
                   f"time={profile.time_us / 1000:9.1f}ms "
-                  f"residual={profile.max_residual_us:.2e}us")
+                  f"residual={profile.max_residual_us:.2e}us "
+                  f"critpath={critpath['total_us'] / 1000:9.1f}ms "
+                  f"[{top}]")
     with open(out, "w") as fh:
         json.dump({"schema": PROFILE_SCHEMA, "slice_us": SLICE_US,
                    "entries": entries}, fh, indent=2, sort_keys=True)

@@ -9,8 +9,14 @@ Three cooperating passes that keep the simulator honest:
   asserts at its own commit points (``--check`` / ``repro check``).
 * :mod:`repro.analysis.lint` — static AST lint enforcing the
   determinism rules the other two passes depend on (``repro lint``).
+* :mod:`repro.analysis.critpath` — critical-path extraction over the
+  causal span records of a spanned run (``repro critpath``), with its
+  own sanitizer pass reconciling path length against wall time.
 """
 
+from .critpath import (CRITPATH_SCHEMA, CriticalPath, PathStep,
+                       bucket_shares, extract_critical_path,
+                       render_ladder_diff, render_path)
 from .hb import ClockHistory, HBGraph, IntervalInfo
 from .invariants import (LEGAL_TRANSITIONS, InvariantChecker,
                          InvariantViolation)
@@ -20,6 +26,9 @@ from .sanitizer import (SANITIZER_CHECKS, Finding, Sanitizer,
                         SanitizerCheck, register_check, sanitize_run)
 
 __all__ = [
+    "CriticalPath", "PathStep", "extract_critical_path",
+    "render_path", "render_ladder_diff", "bucket_shares",
+    "CRITPATH_SCHEMA",
     "ClockHistory", "HBGraph", "IntervalInfo",
     "InvariantChecker", "InvariantViolation", "LEGAL_TRANSITIONS",
     "LintViolation", "Rule", "RULES", "register_rule",

@@ -1,0 +1,422 @@
+"""Critical-path extraction from causal span traces.
+
+Operates offline on the ``span.*`` records a spanned run leaves in its
+trace (:mod:`repro.sim.spans`).  The extractor walks *backwards* from
+the end of the last-finishing rank's ``run`` span to the start of the
+timed section, alternating two moves:
+
+* **local segment** — within one track (a serial execution lane),
+  everything between the latest *resume point* before the cursor and
+  the cursor itself executed on that lane; its time is attributed to
+  Figure-3 buckets by the innermost span covering each instant.
+* **flow edge** — a resume point names the flow that made the lane
+  runnable (a ``span.wake``, or a ``span.begin`` whose ``link`` names
+  the dispatching flow).  The walk jumps to the flow's source point on
+  the sending track; the edge's width (send to delivery) is wire and
+  queueing time, charged to the flow's bucket.
+
+Both moves strictly decrease the ``(t, seq)`` cursor, so the walk
+terminates; because each segment and edge spans exactly the gap between
+consecutive cursors, the step durations telescope: their sum equals the
+time from the terminal rank's ``run`` begin to the final ``run`` end
+*exactly*.  The remaining gap — ranks leave the initialization barrier
+at slightly different instants, and the chain bottoms out at one of
+them — is reported as ``start_skew_us`` and charged to a synthetic
+``skew`` bucket, so ``total_us`` must reconcile with the wall time
+(last end minus first begin) to within ``TIME_TOLERANCE_US``.  That
+reconciliation is the extractor's self-check: the ``critical-path``
+sanitizer pass and ``repro critpath`` both fail on any residual.
+
+Caveat: host-handler tracks (``h<node>``) are shared by interleaved
+activations, so "latest resume point" can occasionally attribute a
+segment to a concurrent activation's waker.  The telescoping identity
+is unaffected — only bucket attribution blurs, never the total.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..sim.trace import TraceEvent
+from .hb import HBGraph
+from .sanitizer import Finding, SanitizerCheck, register_check
+
+__all__ = ["CriticalPath", "PathStep", "extract_critical_path",
+           "render_path", "render_ladder_diff", "bucket_shares",
+           "CRITPATH_SCHEMA"]
+
+#: Figure-3 bucket display order (extras appear after, alphabetically).
+BUCKET_ORDER = ["compute", "data", "lock", "acqrel", "barrier"]
+
+#: critpath JSON schema version (bump on breaking change).
+CRITPATH_SCHEMA = 1
+
+
+@dataclass
+class PathStep:
+    """One hop of the critical path (in start-to-end order)."""
+
+    kind: str                 #: "seg" (on-track execution) or "edge"
+    track: str                #: executing track / flow source track
+    t0: float
+    t1: float
+    #: bucket -> microseconds for this step (segments may split across
+    #: buckets; edges charge everything to the flow's bucket).
+    buckets: Dict[str, float] = field(default_factory=dict)
+    #: flow kind for edges ("page_req", "lock_grant", ...), span name
+    #: of the innermost covering span for segments (best effort).
+    label: str = ""
+    #: edge destination track ("" for segments).
+    to_track: str = ""
+
+    @property
+    def dur_us(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "track": self.track,
+                "t0": self.t0, "t1": self.t1, "label": self.label,
+                "to_track": self.to_track, "buckets": dict(self.buckets)}
+
+
+@dataclass
+class CriticalPath:
+    """The extracted longest causal chain of one spanned run."""
+
+    steps: List[PathStep]          #: start-to-end order
+    total_us: float                #: path length incl. start skew
+    wall_us: float                 #: last run end - first run begin
+    start_skew_us: float           #: terminal rank's begin - first begin
+    terminal_track: str            #: track whose run begin ends the walk
+    complete: bool                 #: walk reached a run begin
+    buckets: Dict[str, float]      #: bucket -> us over the whole path
+
+    @property
+    def residual_us(self) -> float:
+        return self.total_us - self.wall_us
+
+    def ok(self, tolerance_us: float) -> bool:
+        return self.complete and abs(self.residual_us) <= tolerance_us
+
+    def to_dict(self) -> dict:
+        return {"total_us": self.total_us, "wall_us": self.wall_us,
+                "start_skew_us": self.start_skew_us,
+                "residual_us": self.residual_us,
+                "terminal_track": self.terminal_track,
+                "complete": self.complete,
+                "buckets": dict(self.buckets),
+                "steps": [s.to_dict() for s in self.steps]}
+
+
+# -------------------------------------------------------------- parsing
+
+
+class _Trace:
+    """Span records indexed for the backward walk."""
+
+    def __init__(self, events: Sequence[TraceEvent]):
+        #: fid -> (key, t, track, kind, bucket)
+        self.flows: Dict[int, Tuple[Tuple[float, int], float, str,
+                                    str, str]] = {}
+        #: track -> sorted [(key, t, fid)] resume points (wakes and
+        #: linked begins).
+        self.resumes: Dict[str, List[Tuple[Tuple[float, int],
+                                           float, int]]] = {}
+        #: track -> [(key, +1/-1, sid, bucket, name)] coverage events.
+        cover: Dict[str, List[Tuple[Tuple[float, int], int, int,
+                                    str, str]]] = {}
+        #: run spans: track -> (begin_key, begin_t); and ends.
+        self.run_begin: Dict[str, Tuple[Tuple[float, int], float]] = {}
+        run_end: Dict[str, Tuple[Tuple[float, int], float]] = {}
+        sid_info: Dict[int, Tuple[str, str, str]] = {}  # track,bucket,name
+        for e in events:
+            if e.category == "span.begin":
+                f = e.fields
+                key = (e.t, e.seq)
+                sid, track = f["sid"], f["track"]
+                bucket, name = f.get("bucket", "other"), f.get("name", "")
+                sid_info[sid] = (track, bucket, name)
+                cover.setdefault(track, []).append(
+                    (key, 1, sid, bucket, name))
+                link = f.get("link")
+                if link is not None:
+                    self.resumes.setdefault(track, []).append(
+                        (key, e.t, link))
+                if name == "run":
+                    self.run_begin[track] = (key, e.t)
+            elif e.category == "span.end":
+                f = e.fields
+                sid = f["sid"]
+                info = sid_info.get(sid)
+                if info is None:
+                    continue
+                track, bucket, name = info
+                key = (e.t, e.seq)
+                cover.setdefault(track, []).append(
+                    (key, -1, sid, bucket, name))
+                if name == "run":
+                    run_end[track] = (key, e.t)
+            elif e.category == "span.flow":
+                f = e.fields
+                self.flows[f["fid"]] = ((e.t, e.seq), e.t, f["track"],
+                                        f.get("kind", "flow"),
+                                        f.get("bucket", "other"))
+            elif e.category == "span.wake":
+                f = e.fields
+                self.resumes.setdefault(f["track"], []).append(
+                    ((e.t, e.seq), e.t, f["fid"]))
+        for lst in self.resumes.values():
+            lst.sort(key=lambda r: r[0])
+        self.resume_keys = {tr: [r[0] for r in lst]
+                            for tr, lst in self.resumes.items()}
+        #: run spans that both began and ended, as (end_key, end_t, track)
+        self.runs = [(k, t, tr) for tr, (k, t) in run_end.items()
+                     if tr in self.run_begin]
+        #: track -> [(k0, k1, bucket, name)] innermost-span coverage.
+        self.cover = {tr: self._pieces(evs)
+                      for tr, evs in cover.items()}
+        self.cover_keys = {tr: [p[0] for p in pieces]
+                           for tr, pieces in self.cover.items()}
+
+    @staticmethod
+    def _pieces(evs):
+        """Sweep begin/end events into innermost-span coverage pieces."""
+        evs = sorted(evs, key=lambda e: e[0])
+        open_spans: Dict[int, Tuple[Tuple[float, int], str, str]] = {}
+        pieces = []
+        prev_key = None
+        for key, delta, sid, bucket, name in evs:
+            if prev_key is not None and open_spans and prev_key < key:
+                _, b, n = max(open_spans.values())
+                pieces.append((prev_key, key, b, n))
+            if delta > 0:
+                open_spans[sid] = (key, bucket, name)
+            else:
+                open_spans.pop(sid, None)
+            prev_key = key
+        return pieces
+
+    def latest_resume(self, track: str, key):
+        """Latest resume point on ``track`` strictly before ``key``."""
+        keys = self.resume_keys.get(track)
+        if not keys:
+            return None
+        i = bisect.bisect_left(keys, key)
+        return self.resumes[track][i - 1] if i else None
+
+    def attribute(self, track: str, k0, k1) -> Tuple[Dict[str, float], str]:
+        """Bucket attribution of [k0, k1) on ``track`` by innermost
+        span coverage; uncovered time goes to ``other``.  Also returns
+        the name of the longest covering span (for display)."""
+        pieces = self.cover.get(track, [])
+        keys = self.cover_keys.get(track, [])
+        out: Dict[str, float] = {}
+        longest, label = 0.0, ""
+        i = max(bisect.bisect_right(keys, k0) - 1, 0)
+        covered = 0.0
+        for p0, p1, bucket, name in pieces[i:]:
+            if p0 >= k1:
+                break
+            lo = max(p0[0], k0[0])
+            hi = min(p1[0], k1[0])
+            if hi <= lo:
+                continue
+            out[bucket] = out.get(bucket, 0.0) + (hi - lo)
+            covered += hi - lo
+            if hi - lo > longest:
+                longest, label = hi - lo, name
+        gap = (k1[0] - k0[0]) - covered
+        if gap > 0.0:
+            out["other"] = out.get("other", 0.0) + gap
+        return out, label
+
+
+# ------------------------------------------------------------ extraction
+
+
+def extract_critical_path(events: Sequence[TraceEvent]) -> CriticalPath:
+    """Extract the critical path from a spanned run's trace events.
+
+    Raises :class:`ValueError` when the trace carries no completed
+    ``run`` spans (the run was not executed with ``spans=True``).
+    """
+    tr = _Trace(events)
+    if not tr.runs:
+        raise ValueError(
+            "no completed 'run' spans in trace: record the run with "
+            "spans=True (repro.runtime.run_svm) to extract a critical "
+            "path")
+    start_t = min(t for _, t in tr.run_begin.values())
+    end_key, end_t, track = max(tr.runs)
+    cursor_key, cursor_t = end_key, end_t
+
+    steps: List[PathStep] = []
+    complete = False
+    terminal_track = track
+    terminal_t = cursor_t
+    # Each iteration strictly decreases cursor_key; the event list is
+    # finite, so this bound is never hit on a well-formed trace.
+    for _ in range(len(events) + 1):
+        floor = tr.run_begin.get(track)
+        rp = tr.latest_resume(track, cursor_key)
+        if floor is not None and (rp is None or rp[0] <= floor[0]):
+            buckets, label = tr.attribute(track, floor[0], cursor_key)
+            steps.append(PathStep("seg", track, floor[1], cursor_t,
+                                  buckets, label))
+            complete = True
+            terminal_track, terminal_t = track, floor[1]
+            break
+        if rp is None:
+            terminal_track, terminal_t = track, cursor_t
+            break
+        rkey, rt, fid = rp
+        buckets, label = tr.attribute(track, rkey, cursor_key)
+        steps.append(PathStep("seg", track, rt, cursor_t, buckets, label))
+        flow = tr.flows.get(fid)
+        if flow is None:
+            terminal_track, terminal_t = track, rt
+            break
+        fkey, ft, ftrack, fkind, fbucket = flow
+        steps.append(PathStep("edge", ftrack, ft, rt,
+                              {fbucket: rt - ft}, fkind, to_track=track))
+        track, cursor_key, cursor_t = ftrack, fkey, ft
+
+    steps.reverse()
+    skew = terminal_t - start_t if complete else 0.0
+    totals: Dict[str, float] = {}
+    for s in steps:
+        for b, us in s.buckets.items():
+            totals[b] = totals.get(b, 0.0) + us
+    if skew != 0.0:
+        totals["skew"] = totals.get("skew", 0.0) + skew
+    total = math.fsum(s.dur_us for s in steps) + skew
+    return CriticalPath(steps=steps, total_us=total,
+                        wall_us=end_t - start_t, start_skew_us=skew,
+                        terminal_track=terminal_track,
+                        complete=complete, buckets=totals)
+
+
+def bucket_shares(path: CriticalPath) -> Dict[str, float]:
+    """Bucket -> fraction of the path total (0 when the path is empty)."""
+    if path.total_us <= 0.0:
+        return {b: 0.0 for b in path.buckets}
+    return {b: us / path.total_us for b, us in path.buckets.items()}
+
+
+# ------------------------------------------------------------- rendering
+
+
+def _bucket_names(paths) -> List[str]:
+    seen = set()
+    for p in paths:
+        seen.update(p.buckets)
+    extras = sorted(seen - set(BUCKET_ORDER))
+    return [b for b in BUCKET_ORDER if b in seen] + extras
+
+
+def render_path(path: CriticalPath, name: str = "",
+                max_steps: int = 30) -> str:
+    """ASCII rendering: the chain (longest steps kept, short runs
+    elided) followed by the per-bucket summary."""
+    title = f"critical path{f' [{name}]' if name else ''}"
+    lines = [title, "=" * len(title)]
+    keep = set()
+    if len(path.steps) > max_steps:
+        by_dur = sorted(range(len(path.steps)),
+                        key=lambda i: -path.steps[i].dur_us)
+        keep = set(by_dur[:max_steps])
+    elided = 0
+    elided_us = 0.0
+    for i, s in enumerate(path.steps):
+        if keep and i not in keep:
+            elided += 1
+            elided_us += s.dur_us
+            continue
+        if elided:
+            lines.append(f"    ... {elided} steps ({elided_us:.1f} us) ...")
+            elided, elided_us = 0, 0.0
+        if s.kind == "seg":
+            lines.append(f"  [{s.dur_us:10.1f} us] {s.track:<5} "
+                         f"{s.label or 'run'}")
+        else:
+            lines.append(f"  [{s.dur_us:10.1f} us] {s.track:>5} "
+                         f"--{s.label}--> {s.to_track}")
+    if elided:
+        lines.append(f"    ... {elided} steps ({elided_us:.1f} us) ...")
+    lines.append("")
+    lines.append(f"  path total  {path.total_us:12.1f} us "
+                 f"({len(path.steps)} steps, start skew "
+                 f"{path.start_skew_us:.1f} us at {path.terminal_track})")
+    lines.append(f"  wall        {path.wall_us:12.1f} us "
+                 f"(residual {path.residual_us:+.3e} us)")
+    for b in _bucket_names([path]):
+        us = path.buckets.get(b, 0.0)
+        share = us / path.total_us if path.total_us > 0 else 0.0
+        lines.append(f"    {b:<10} {us:12.1f} us  {share:6.1%}")
+    return "\n".join(lines)
+
+
+def render_ladder_diff(paths: Dict[str, CriticalPath]) -> str:
+    """Side-by-side bucket table across protocol variants, with the
+    change in path total relative to the first (Base) column."""
+    names = list(paths)
+    buckets = _bucket_names(list(paths.values()))
+    w = max(10, *(len(n) for n in names)) + 2
+    head = f"{'bucket':<12}" + "".join(f"{n:>{w}}" for n in names)
+    lines = ["critical-path ladder (us)", head, "-" * len(head)]
+    for b in buckets:
+        row = f"{b:<12}"
+        for n in names:
+            row += f"{paths[n].buckets.get(b, 0.0):>{w}.1f}"
+        lines.append(row)
+    row = f"{'total':<12}"
+    for n in names:
+        row += f"{paths[n].total_us:>{w}.1f}"
+    lines.append(row)
+    base = paths[names[0]].total_us
+    row = f"{'vs ' + names[0]:<12}"
+    for n in names:
+        delta = (paths[n].total_us / base - 1.0) if base > 0 else 0.0
+        row += f"{delta:>{w}.1%}"
+    lines.append(row)
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------- sanitizer check
+
+
+@register_check
+class CriticalPathCheck(SanitizerCheck):
+    """On spanned traces, the extracted path must reconcile with wall."""
+
+    name = "critical-path"
+    description = ("the critical path extracted from span records must "
+                   "equal the timed-section wall time")
+
+    def run(self, events: Sequence[TraceEvent],
+            hb: HBGraph) -> Iterator[Finding]:
+        if not any(e.category == "span.begin"
+                   and e.fields.get("name") == "run" for e in events):
+            return  # not a spanned run: nothing to reconcile
+        # Imported here to keep repro.obs optional for trace replay.
+        from ..obs import TIME_TOLERANCE_US
+        try:
+            path = extract_critical_path(events)
+        except ValueError:
+            return  # run spans never completed (truncated trace)
+        if not path.complete:
+            yield Finding(
+                self.name,
+                f"critical-path walk ended at {path.terminal_track} "
+                f"without reaching a run begin: a flow edge or wake "
+                f"record is missing from the span stream")
+        elif abs(path.residual_us) > TIME_TOLERANCE_US:
+            yield Finding(
+                self.name,
+                f"critical path totals {path.total_us} us but the "
+                f"timed section walls {path.wall_us} us (residual "
+                f"{path.residual_us:+.3e} us): span records lost or "
+                f"mis-linked")

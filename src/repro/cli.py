@@ -11,6 +11,7 @@ Examples::
     python -m repro figure 2
     python -m repro table 1
     python -m repro profile --app fft --variant base --variant genima
+    python -m repro critpath --app fft --variant base --variant genima
     python -m repro calibrate
     python -m repro check --app Barnes-spatial
     python -m repro lint
@@ -203,6 +204,77 @@ def _cmd_profile(args) -> int:
     return 1 if bad else 0
 
 
+def _cmd_critpath(args) -> int:
+    """Spanned runs -> critical paths, ladder diff and Perfetto export.
+
+    Exits non-zero whenever any extracted path fails to reconcile with
+    the timed-section wall time (the extractor's telescoping
+    invariant), independent of ``--check``.
+    """
+    from .analysis import (CRITPATH_SCHEMA, Sanitizer, render_ladder_diff,
+                           render_path)
+    from .obs import TIME_TOLERANCE_US
+    from .experiments import collect_critpath
+    app_name = _resolve_name(args.app, APP_REGISTRY, "application")
+    variant_names = [_resolve_name(v, PROTOCOLS, "protocol variant")
+                     for v in (args.variant
+                               or [f.name for f in PROTOCOL_LADDER])]
+    cls = APP_REGISTRY[app_name]
+    config = MachineConfig(nodes=args.nodes)
+    runs = []
+    for name in variant_names:
+        app = cls(**cls.paper_params) if args.paper_size else cls()
+        runs.append(collect_critpath(app, PROTOCOLS[name], config=config,
+                                     check=args.check))
+    for run in runs:
+        print(render_path(run.path, name=f"{app_name}/{run.variant}",
+                          max_steps=args.max_steps))
+        print()
+    if len(runs) > 1:
+        print(render_ladder_diff({r.variant: r.path for r in runs}))
+        print()
+    if args.out:
+        payload = {"schema": CRITPATH_SCHEMA, "app": app_name,
+                   "nodes": args.nodes,
+                   "paths": {r.variant: r.path.to_dict() for r in runs}}
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.perfetto:
+        for run in runs:
+            path = _variant_path(args.perfetto, run.variant,
+                                 many=len(runs) > 1)
+            with open(path, "w") as fh:
+                json.dump(run.tracer.to_chrome_trace(), fh)
+                fh.write("\n")
+            print(f"wrote {path}")
+    status = 0
+    if args.check:
+        for run in runs:
+            findings = Sanitizer().run(run.tracer.events)
+            for finding in findings:
+                print(finding, file=sys.stderr)
+            if findings:
+                status = 1
+    bad = [r for r in runs if not r.path.ok(TIME_TOLERANCE_US)]
+    for r in bad:
+        print(f"CRITICAL PATH DOES NOT RECONCILE: {app_name}/{r.variant} "
+              f"total {r.path.total_us} us vs wall {r.path.wall_us} us "
+              f"(residual {r.path.residual_us:+.3e} us)", file=sys.stderr)
+    return 1 if bad else status
+
+
+def _variant_path(base: str, variant: str, many: bool) -> str:
+    """Per-variant output filename: insert the variant before the
+    extension when several variants share one ``--perfetto`` base."""
+    if not many:
+        return base
+    slug = variant.replace("+", "-")
+    stem, dot, ext = base.rpartition(".")
+    return f"{stem}-{slug}.{ext}" if dot else f"{base}-{slug}"
+
+
 def _cmd_calibrate(_args) -> int:
     from .experiments import (measure_comm_layer, measure_page_fetch,
                               render_calibration)
@@ -342,6 +414,31 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--paper-size", action="store_true",
                       help="use the paper's problem size (slow)")
     prof.set_defaults(fn=_cmd_profile)
+
+    crit = sub.add_parser(
+        "critpath", help="spanned run: critical-path chain, Figure-3 "
+                         "bucket split, ladder diff and Perfetto export")
+    crit.add_argument("--app", required=True,
+                      help="application (case-insensitive)")
+    crit.add_argument("--variant", action="append",
+                      help="protocol variant(s), case-insensitive; "
+                           "repeatable (default: the whole ladder, "
+                           "Base first)")
+    crit.add_argument("--nodes", type=int, default=4,
+                      help="SMP nodes (4 procs each)")
+    crit.add_argument("--max-steps", type=int, default=30,
+                      help="chain steps to print (longest kept)")
+    crit.add_argument("--out", metavar="PATH",
+                      help="write critical paths as JSON")
+    crit.add_argument("--perfetto", metavar="PATH",
+                      help="write the span stream as a Chrome/Perfetto "
+                           "trace (per-variant suffix when several)")
+    crit.add_argument("--check", action="store_true",
+                      help="also run the runtime invariant checker and "
+                           "the offline trace sanitizer")
+    crit.add_argument("--paper-size", action="store_true",
+                      help="use the paper's problem size (slow)")
+    crit.set_defaults(fn=_cmd_critpath)
 
     sub.add_parser("calibrate",
                    help="communication-layer microbenchmarks") \

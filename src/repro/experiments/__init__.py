@@ -7,6 +7,7 @@ from .ablations import (ablate_diff_scatter, ablate_eager_wn,
 from .cache import CACHE, ExperimentCache
 from .calibration import (measure_comm_layer, measure_page_fetch,
                           render_calibration)
+from .critpath import CritpathRun, collect_critpath, collect_critpaths
 from .faultsweep import (DEFAULT_LOSS_RATES, compute_faultsweep,
                          render_faultsweep)
 from .figures import (compute_figure1, compute_figure2, compute_figure3,
@@ -25,6 +26,7 @@ __all__ = [
     "CACHE",
     "ExperimentCache",
     "collect_profile", "collect_profiles",
+    "CritpathRun", "collect_critpath", "collect_critpaths",
     "format_table",
     "measure_comm_layer",
     "measure_page_fetch",

@@ -1,0 +1,59 @@
+"""The ``repro critpath`` experiment: spanned runs -> critical paths.
+
+One :func:`collect_critpath` call runs an application under one
+protocol variant with causal span recording armed (``spans=True``),
+extracts the critical path offline
+(:func:`repro.analysis.extract_critical_path`) and returns the run,
+the path and the full tracer (kept so callers can export the span
+stream to Perfetto); :func:`collect_critpaths` sweeps a list of
+variants (pass Base first so the ladder diff normalizes the way the
+paper does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis import extract_critical_path
+from ..hw import MachineConfig
+from ..runtime import run_svm
+from ..sim import Tracer
+
+__all__ = ["CritpathRun", "collect_critpath", "collect_critpaths"]
+
+
+@dataclass
+class CritpathRun:
+    """One spanned run: its result, critical path and span trace."""
+
+    variant: str   #: protocol variant name ("Base", "GeNIMA", ...)
+    result: object     #: the :class:`~repro.runtime.results.RunResult`
+    path: object       #: the :class:`~repro.analysis.CriticalPath`
+    tracer: Tracer     #: unbounded tracer holding the span stream
+
+
+def collect_critpath(app, features,
+                     config: Optional[MachineConfig] = None,
+                     check: bool = False) -> CritpathRun:
+    """Run ``app`` under ``features`` with spans; extract the path.
+
+    ``check`` additionally installs the runtime invariant checker.
+    The tracer is unbounded: critical-path extraction needs the whole
+    span stream, not a ring-buffer suffix.
+    """
+    tracer = Tracer(capacity=None)
+    result = run_svm(app, features, config=config, tracer=tracer,
+                     check=check, spans=True)
+    path = extract_critical_path(tracer.events)
+    return CritpathRun(variant=features.name, result=result,
+                       path=path, tracer=tracer)
+
+
+def collect_critpaths(app_factory, variants: Sequence,
+                      config: Optional[MachineConfig] = None,
+                      check: bool = False) -> List[CritpathRun]:
+    """Collect ``app_factory()``'s critical path under each variant."""
+    return [collect_critpath(app_factory(), feats, config=config,
+                             check=check)
+            for feats in variants]

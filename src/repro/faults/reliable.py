@@ -54,7 +54,7 @@ class _SendState:
     """Sender-side book-keeping for one (message, destination)."""
 
     __slots__ = ("msg", "dst", "channel_seq", "expected",
-                 "pkts", "acked", "acked_event", "attempts")
+                 "pkts", "acked", "acked_event", "attempts", "retx_fid")
 
     def __init__(self, msg: Message, dst: int, channel_seq: int,
                  expected: int, acked_event):
@@ -67,6 +67,9 @@ class _SendState:
         self.acked = False
         self.acked_event = acked_event
         self.attempts = 0
+        #: span flow id of the previous retransmission attempt: each
+        #: attempt's span links to it, chaining the retries causally.
+        self.retx_fid = None
 
 
 class _RecvState:
@@ -95,6 +98,10 @@ class ReliabilityLayer:
         self.fcfg: FaultConfig = machine.config.faults
         #: optional repro.sim.Tracer receiving ``retx.*`` events.
         self.tracer = None
+        #: optional repro.sim.SpanTracer (Machine.attach_spans): each
+        #: retransmission attempt becomes a span on the sender's NI
+        #: track, chained to the previous attempt by a retx_chain flow.
+        self.spans = None
         #: dense trace names for messages, shared with the injector so
         #: the sanitizer can join fault.* and retx.* streams.
         self.msg_ids = msg_ids if msg_ids is not None else MsgIds()
@@ -164,6 +171,13 @@ class ReliabilityLayer:
                         msg=self.msg_ids.map(state.msg.msg_id),
                         dst=state.dst, seq=state.channel_seq,
                         attempt=state.attempts, rto=rto)
+            sp = self.spans
+            rsid = sp.begin(
+                "retx.resend", f"ni{nic.node_id}", bucket="data",
+                link=state.retx_fid,
+                msg=self.msg_ids.map(state.msg.msg_id),
+                dst=state.dst, attempt=state.attempts) \
+                if sp is not None else None
             # Go-back-all: re-inject every packet of the message from
             # NI memory; the receiver discards what it already has.
             for index in sorted(state.pkts):
@@ -180,6 +194,9 @@ class ReliabilityLayer:
                             seq=state.channel_seq,
                             attempt=state.attempts)
                 yield nic.out_queue.put(copy)
+            if sp is not None:
+                state.retx_fid = sp.flow_from(rsid, "retx_chain", "data")
+                sp.end(rsid)
             rto = min(rto * 2.0, f.retx_timeout_max_us)
 
     def _fw_ack(self, pkt: Packet) -> None:

@@ -59,6 +59,15 @@ class Machine:
             self.fault_injector.tracer = tracer
             self.reliability.tracer = tracer
 
+    def attach_spans(self, spans) -> None:
+        """Arm causal span recording in the hardware layers: NI
+        firmware-service spans on every NIC and retransmission-chain
+        spans in the reliable transport (when faults are armed)."""
+        for nic in self.nics:
+            nic.spans = spans
+        if self.reliability is not None:
+            self.reliability.spans = spans
+
     def node_of(self, rank: int) -> Node:
         """The node hosting global process ``rank``."""
         return self.nodes[self.config.node_of(rank)]

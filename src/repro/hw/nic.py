@@ -24,6 +24,9 @@ from .packet import Message, Packet
 
 __all__ = ["NIC"]
 
+#: Figure-3 bucket charged for firmware service of each message kind.
+FW_SPAN_BUCKETS = {"lock_op": "lock", "fetch_req": "data"}
+
 
 class NIC:
     """One Myrinet-style network interface, owned by one node."""
@@ -62,6 +65,10 @@ class NIC:
         #: drop-tolerant transport (repro.faults.reliable); installed
         #: by the Machine when fault injection is armed, else None.
         self.reliability = None
+        #: optional repro.sim.SpanTracer (Machine.attach_spans); the
+        #: recv loop wraps firmware service in a span on this NI's
+        #: track, linked to the sender's flow via Message.span_flow.
+        self.spans = None
 
         # Counters.
         self.packets_sent = 0
@@ -215,12 +222,20 @@ class NIC:
                     raise LookupError(
                         f"no firmware handler for kind {pkt.kind!r} "
                         f"at node {self.node_id}")
+                sp = self.spans
+                fsid = sp.begin(
+                    "ni.fw", f"ni{self.node_id}",
+                    bucket=FW_SPAN_BUCKETS.get(pkt.kind, "data"),
+                    link=pkt.message.span_flow, kind=pkt.kind) \
+                    if sp is not None else None
                 result = handler(pkt)
                 if result is not None:
                     # Handler needs LANai time (e.g. lock-queue ops).
                     yield from result
                 pkt.t_delivered = self.sim.now
                 self.fw_packets += 1
+                if sp is not None:
+                    sp.end(fsid)
                 self._finish(pkt)
             else:
                 yield from self.pci.transfer(pkt.size)

@@ -63,6 +63,10 @@ class Message:
     #: Fired at the source when the message's last packet has left the
     #: sending host's memory (send-buffer reusable).
     on_sent: Optional[Callable[["Message"], None]] = None
+    #: Causal flow id (repro.sim.spans) recorded by the sender; the
+    #: destination NI links its firmware-service span to it.  Pure
+    #: observability — never affects scheduling.
+    span_flow: Optional[int] = None
     msg_id: int = field(default_factory=lambda: next(_seq))
     packets_remaining: int = 0
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..hw import Machine, MachineConfig
+from ..sim import SpanTracer
 from ..svm import HLRCProtocol, ProtocolFeatures
 from ..vmmc import PerfMonitor, VMMC
 from .context import Backend
@@ -15,14 +16,22 @@ class SVMBackend(Backend):
 
     def __init__(self, config: MachineConfig, features: ProtocolFeatures,
                  with_monitor: bool = True, tracer=None,
-                 check: bool = False):
+                 check: bool = False, spans: bool = False):
         self.machine = Machine(config)
-        self.vmmc = VMMC(self.machine)
+        self.spans = None
+        if spans:
+            if tracer is None:
+                raise ValueError("spans=True requires a tracer")
+            self.spans = SpanTracer(tracer, self.machine.sim)
+        self.vmmc = VMMC(self.machine, spans=self.spans)
         self.monitor = PerfMonitor(self.machine) if with_monitor else None
         self.protocol = HLRCProtocol(self.machine, features,
-                                     vmmc=self.vmmc, tracer=tracer)
+                                     vmmc=self.vmmc, tracer=tracer,
+                                     spans=self.spans)
         if tracer is not None:
             self.machine.attach_tracer(tracer)
+        if self.spans is not None:
+            self.machine.attach_spans(self.spans)
         self.config = config
         self.features = features
         self.invariants = None

@@ -36,6 +36,7 @@ def run_on_backend(app, backend, system: str,
 
     protocol = getattr(backend, "protocol", None)
     monitor = getattr(backend, "monitor", None)
+    spans = getattr(backend, "spans", None)
     if profiler is not None:
         if protocol is None:
             raise ValueError(
@@ -53,7 +54,13 @@ def run_on_backend(app, backend, system: str,
             protocol.barrier_protocol_us[rank] = 0.0
             if profiler is not None:
                 profiler.on_timed_start(rank)
+        # The rank's timed section is one root span; the critical-path
+        # extractor walks backwards from the last rank's "run" end.
+        sid = spans.begin("run", f"r{rank}", bucket="compute",
+                          rank=rank) if spans is not None else None
         yield from app.process(ctx, regions)
+        if spans is not None:
+            spans.end(sid)
         end_times[rank] = sim.now
         finished[0] += 1
 
@@ -139,16 +146,19 @@ def _stats_delta(before: dict, after: dict) -> dict:
 def run_svm(app, features: ProtocolFeatures,
             config: Optional[MachineConfig] = None,
             with_monitor: bool = True, tracer=None,
-            check: bool = False, profiler=None) -> RunResult:
+            check: bool = False, profiler=None,
+            spans: bool = False) -> RunResult:
     """Run ``app`` on the SVM cluster under one protocol variant.
 
     ``tracer`` records the protocol event stream (for the offline
     sanitizer); ``check`` installs the runtime invariant checker;
-    ``profiler`` attaches a :class:`repro.obs.PhaseProfiler`.
+    ``profiler`` attaches a :class:`repro.obs.PhaseProfiler`;
+    ``spans`` arms causal span recording into the tracer (required for
+    :mod:`repro.analysis.critpath`) without perturbing the schedule.
     """
     backend = SVMBackend(config or MachineConfig(), features,
                          with_monitor=with_monitor, tracer=tracer,
-                         check=check)
+                         check=check, spans=spans)
     return run_on_backend(app, backend, system=features.name,
                           profiler=profiler)
 

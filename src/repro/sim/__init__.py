@@ -9,6 +9,7 @@ from .engine import (
     Timeout,
 )
 from .resources import RateServer, Resource, Store
+from .spans import SpanTracer, nic_track, node_track, rank_track
 from .stats import BUCKETS, RunningStat, TimeBuckets, weighted_mean
 from .trace import TraceEvent, Tracer
 
@@ -28,4 +29,8 @@ __all__ = [
     "weighted_mean",
     "TraceEvent",
     "Tracer",
+    "SpanTracer",
+    "rank_track",
+    "node_track",
+    "nic_track",
 ]

@@ -10,7 +10,10 @@ tests without threading counters everywhere.
     proto = HLRCProtocol(machine, GENIMA, tracer=tracer)
     ...
     print(tracer.to_text(limit=50))
+    # count() matches one exact category; count_prefix() aggregates a
+    # dotted family the way filter() does:
     assert tracer.count("fetch.retry") == 0
+    assert tracer.count_prefix("fetch") == len(tracer.filter("fetch"))
 """
 
 from __future__ import annotations
@@ -96,8 +99,21 @@ class Tracer:
                 or e.category.startswith(category + ".")]
 
     def count(self, category: str) -> int:
-        """Total admitted events for an exact category."""
+        """Total admitted events for an *exact* category.
+
+        ``count("fetch")`` does **not** include ``fetch.retry``; use
+        :meth:`count_prefix` for family totals.
+        """
         return self._counts[category]
+
+    def count_prefix(self, category: str) -> int:
+        """Total admitted events whose category equals ``category`` or
+        is a dot-qualified refinement of it — the same match rule as
+        :meth:`filter`, but counting all admitted events (including
+        ones a bounded ``capacity`` has already dropped)."""
+        prefix = category + "."
+        return self._counts[category] + sum(
+            n for c, n in self._counts.items() if c.startswith(prefix))
 
     def counts(self) -> Dict[str, int]:
         return dict(self._counts)
@@ -128,21 +144,127 @@ class Tracer:
         return "\n".join(e.to_json() for e in self._events)
 
     def to_chrome_trace(self, rank_field: str = "rank") -> List[dict]:
-        """Events in Chrome tracing (``chrome://tracing`` /  Perfetto)
-        instant-event format; load the JSON list to see the protocol
-        timeline per rank.  Events without a ``rank_field`` land on a
-        shared row (tid 0)."""
-        out = []
-        for e in self._events:
-            out.append({
-                "name": e.category,
-                "ph": "i",             # instant event
-                "ts": e.t,              # already microseconds
-                "pid": 1,
-                "tid": int(e.fields.get(rank_field, 0)),
-                "s": "t",
-                "args": dict(e.fields),
-            })
+        """Events in Chrome tracing (``chrome://tracing`` / Perfetto)
+        JSON format.
+
+        ``span.begin``/``span.end`` records (see
+        :mod:`repro.sim.spans`) become duration events (``ph: B/E``)
+        and ``span.flow``/``span.wake`` become flow events
+        (``ph: s/f``), so a spanned run renders as nested slices with
+        causal arrows.  Every other category stays an instant event
+        (``ph: i``) on its rank's row.  Rows: ranks first (tid ==
+        rank, shared with ``r<k>`` span tracks), then the remaining
+        span tracks, then one dedicated row for instant events that
+        carry no ``rank_field`` (previously these collided with rank
+        0).  Chrome metadata events (``ph: M``) label the process and
+        every row."""
+        import re
+        span_cats = {"span.begin", "span.end", "span.flow", "span.wake"}
+        events = list(self._events)
+
+        # -- pre-pass: discover rows and id->name maps
+        ranks: set = set()
+        tracks: set = set()
+        unranked = False
+        flow_kind: Dict[Any, str] = {}
+        span_name: Dict[Any, str] = {}
+        for e in events:
+            if e.category in span_cats:
+                track = e.fields.get("track")
+                if isinstance(track, str):
+                    tracks.add(track)
+                if e.category == "span.flow":
+                    flow_kind[e.fields.get("fid")] = \
+                        e.fields.get("kind", "flow")
+                elif e.category == "span.begin":
+                    span_name[e.fields.get("sid")] = \
+                        e.fields.get("name", "span")
+            else:
+                rank = e.fields.get(rank_field)
+                if isinstance(rank, int) and not isinstance(rank, bool):
+                    ranks.add(rank)
+                else:
+                    unranked = True
+
+        order = {"r": 0, "h": 1, "ni": 2, "b": 3}
+
+        def track_key(tr: str):
+            m = re.fullmatch(r"([a-z]+)(\d+)", tr)
+            if m:
+                return (order.get(m.group(1), 4), m.group(1),
+                        int(m.group(2)))
+            return (5, tr, 0)
+
+        for tr in tracks:                  # r<k> tracks share rank rows
+            m = re.fullmatch(r"r(\d+)", tr)
+            if m:
+                ranks.add(int(m.group(1)))
+        tid_of: Dict[Any, int] = {}
+        next_tid = (max(ranks) + 1) if ranks else 0
+        for tr in sorted(tracks, key=track_key):
+            m = re.fullmatch(r"r(\d+)", tr)
+            if m:
+                tid_of[tr] = int(m.group(1))
+            else:
+                tid_of[tr] = next_tid
+                next_tid += 1
+        shared_tid = next_tid              # rank-less instant events
+
+        # -- metadata: label the process and every row
+        out: List[dict] = [{"name": "process_name", "ph": "M", "pid": 1,
+                            "args": {"name": "repro"}}]
+        for r in sorted(ranks):
+            out.append({"name": "thread_name", "ph": "M", "pid": 1,
+                        "tid": r, "args": {"name": f"rank {r}"}})
+        for tr in sorted(tracks, key=track_key):
+            if re.fullmatch(r"r(\d+)", tr):
+                continue                   # labeled as its rank above
+            out.append({"name": "thread_name", "ph": "M", "pid": 1,
+                        "tid": tid_of[tr], "args": {"name": tr}})
+        if unranked:
+            out.append({"name": "thread_name", "ph": "M", "pid": 1,
+                        "tid": shared_tid, "args": {"name": "(events)"}})
+
+        # -- the events themselves, in trace order
+        for e in events:
+            f = e.fields
+            if e.category in span_cats:
+                tid = tid_of.get(f.get("track"), shared_tid)
+                if e.category == "span.begin":
+                    out.append({"name": f.get("name", "span"), "ph": "B",
+                                "ts": e.t, "pid": 1, "tid": tid,
+                                "args": dict(f)})
+                    link = f.get("link")
+                    if link is not None:   # arrow into the new slice
+                        out.append({"name": flow_kind.get(link, "flow"),
+                                    "ph": "f", "bp": "e", "id": link,
+                                    "cat": "flow", "ts": e.t, "pid": 1,
+                                    "tid": tid})
+                elif e.category == "span.end":
+                    out.append({"name": span_name.get(f.get("sid"),
+                                                      "span"),
+                                "ph": "E", "ts": e.t, "pid": 1,
+                                "tid": tid, "args": dict(f)})
+                elif e.category == "span.flow":
+                    out.append({"name": f.get("kind", "flow"), "ph": "s",
+                                "id": f.get("fid"), "cat": "flow",
+                                "ts": e.t, "pid": 1, "tid": tid,
+                                "args": dict(f)})
+                else:                      # span.wake
+                    out.append({"name": flow_kind.get(f.get("fid"),
+                                                      "flow"),
+                                "ph": "f", "bp": "e",
+                                "id": f.get("fid"), "cat": "flow",
+                                "ts": e.t, "pid": 1, "tid": tid,
+                                "args": dict(f)})
+            else:
+                rank = f.get(rank_field)
+                has_rank = (isinstance(rank, int)
+                            and not isinstance(rank, bool))
+                out.append({"name": e.category, "ph": "i", "ts": e.t,
+                            "pid": 1,
+                            "tid": rank if has_rank else shared_tid,
+                            "s": "t", "args": dict(f)})
         return out
 
     def save_chrome_trace(self, path, rank_field: str = "rank") -> None:

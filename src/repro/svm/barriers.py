@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..sim.spans import node_track, rank_track
 from .timestamps import VectorClock
 
 __all__ = ["BarrierManager"]
@@ -32,10 +33,13 @@ WN_BYTES = 8
 class _Episode:
     """State of one barrier crossing."""
 
-    def __init__(self, sim, nodes: int, procs_per_node: int):
+    def __init__(self, sim, nodes: int, procs_per_node: int,
+                 index: int = 0):
         self.sim = sim
         self.nodes = nodes
         self.procs_per_node = procs_per_node
+        #: span track of this episode's coordinator process.
+        self.btrack = f"b{index}"
         self.node_arrivals = [0] * nodes
         self.arrival_events = [sim.event() for _ in range(nodes)]
         self.release_events = [sim.event() for _ in range(nodes)]
@@ -79,7 +83,7 @@ class BarrierManager:
         ep = self._episodes.get(index)
         if ep is None:
             ep = _Episode(self.sim, self.config.nodes,
-                          self.config.procs_per_node)
+                          self.config.procs_per_node, index=index)
             self._episodes[index] = ep
             self.sim.process(self._coordinate(ep, index),
                              name=f"barrier.{index}")
@@ -104,15 +108,17 @@ class BarrierManager:
             # work (this is where Table 2's protocol time accrues).
             did_node_work = True
             tp = self.sim.now
+            track = rank_track(rank) if proto.spans is not None else None
             interval = yield from proto.close_interval_timed(node_id)
             if interval is not None:
                 ep.wn_pages[node_id] = len(interval.pages)
                 if proto.features.direct_writes:
-                    yield from proto.broadcast_wns(node_id, interval)
-            yield from proto.flush_pending(node_id)
+                    yield from proto.broadcast_wns(node_id, interval,
+                                                   track=track)
+            yield from proto.flush_pending(node_id, track=track)
             ep.node_flush_us[node_id] = self.sim.now - tp
             proto.barrier_protocol_us[rank] += ep.node_flush_us[node_id]
-            yield from self._announce_arrival(ep, node_id)
+            yield from self._announce_arrival(ep, node_id, track=track)
             ep.node_announced_at[node_id] = self.sim.now
 
         # Wait for the master's release of this node.
@@ -151,47 +157,96 @@ class BarrierManager:
             self.crossings += 1
         proto.buckets[rank].charge("barrier", self.sim.now - t0)
 
-    def _announce_arrival(self, ep: _Episode, node_id: int):
+    def _announce_arrival(self, ep: _Episode, node_id: int,
+                          track: Optional[str] = None):
         """Tell the master this node has arrived."""
         proto = self.proto
+        sp = proto.spans if track is not None else None
         if node_id == self.master:
+            if sp is not None:
+                fid = sp.flow(track, "barrier_arrive", "barrier",
+                              node=node_id)
+                sp.wake(fid, ep.btrack, node=node_id)
             ep.arrival_events[node_id].succeed()
             return
+        fid = sp.flow(track, "barrier_arrive", "barrier", node=node_id) \
+            if sp is not None else None
         if proto.features.direct_writes:
             # Remote deposit of a control word; notices already pushed.
             size = ARRIVE_BASE_BYTES
+
+            def deposited(_m):
+                if sp is not None:
+                    sp.wake(fid, ep.btrack, node=node_id)
+                ep.arrival_events[node_id].succeed()
+
             yield from proto.vmmc.send(
                 node_id, self.master, size, kind="barrier_arrive",
-                on_delivered=lambda _m:
-                    ep.arrival_events[node_id].succeed())
+                on_delivered=deposited)
         else:
             # Base: arrival carries the node's write notices and is
             # handled by an interrupt at the master.
             size = ARRIVE_BASE_BYTES + WN_BYTES * ep.wn_pages[node_id]
 
             def at_master(_msg):
-                self.sim.process(self._master_arrival_handler(ep, node_id),
-                                 name="barrier.arrive")
+                self.sim.process(
+                    self._master_arrival_handler(ep, node_id, link=fid),
+                    name="barrier.arrive")
 
             yield from proto.vmmc.send(
                 node_id, self.master, size, kind="barrier_arrive",
                 on_delivered=at_master)
 
-    def _master_arrival_handler(self, ep: _Episode, node_id: int):
+    def _master_arrival_handler(self, ep: _Episode, node_id: int,
+                                link: Optional[int] = None):
         node = self.machine.nodes[self.master]
+        sp = self.proto.spans
+        mtrack = node_track(self.master)
 
         def body():
+            sid = sp.begin("barrier.arrive", mtrack, bucket="barrier",
+                           link=link, node=node_id) \
+                if sp is not None else None
             yield self.sim.timeout(self.config.protocol_op_us)
+            if sp is not None:
+                fid = sp.flow(mtrack, "barrier_arrive", "barrier",
+                              node=node_id)
+                sp.wake(fid, ep.btrack, node=node_id)
             ep.arrival_events[node_id].succeed()
+            if sp is not None:
+                sp.end(sid)
 
         yield from node.handler(body())
 
     # ---------------------------------------------------------- coordination
 
+    def _node_ranks(self, node_id: int):
+        cfg = self.config
+        return [r for r in range(cfg.total_procs)
+                if cfg.node_of(r) == node_id]
+
+    def _release_node(self, ep: _Episode, node_id: int,
+                      fid: Optional[int] = None):
+        """Record per-rank wakes for a release flow, then fire the event.
+
+        Every rank of the node is blocked on the release event by
+        construction (the coordinator only runs after the last arrival),
+        so waking all of the node's rank tracks is causally sound.  The
+        flow itself was recorded at send time by the coordinator.
+        """
+        sp = self.proto.spans
+        if sp is not None and fid is not None:
+            for r in self._node_ranks(node_id):
+                sp.wake(fid, rank_track(r))
+        ep.release_events[node_id].succeed()
+
     def _coordinate(self, ep: _Episode, index: int):
         """Master-side episode driver: collect arrivals, release all."""
         proto = self.proto
         cfg = self.config
+        sp = proto.spans
+        csid = sp.begin("barrier.coord", ep.btrack, bucket="barrier",
+                        epoch=index) if sp is not None else None
         yield self.sim.all_of(ep.arrival_events)
         # Everyone flushed: the barrier makes every closed interval
         # visible to every node.
@@ -207,27 +262,47 @@ class BarrierManager:
             for node_id in range(cfg.nodes):
                 if node_id == self.master:
                     continue
+                fid = sp.flow(ep.btrack, "barrier_release", "barrier",
+                              node=node_id) if sp is not None else None
                 yield from proto.vmmc.send(
                     self.master, node_id, RELEASE_BASE_BYTES,
                     kind="barrier_release",
-                    on_delivered=lambda _m, n=node_id:
-                        ep.release_events[n].succeed())
-            ep.release_events[self.master].succeed()
+                    on_delivered=lambda _m, n=node_id, f=fid:
+                        self._release_node(ep, n, fid=f))
+            fid_m = sp.flow(ep.btrack, "barrier_release", "barrier",
+                            node=self.master) if sp is not None else None
+            self._release_node(ep, self.master, fid=fid_m)
         else:
             # Base: the master's handler broadcasts releases carrying
             # the collected write notices.
+            mtrack = node_track(self.master)
+            fidh = sp.flow(ep.btrack, "barrier_dispatch", "barrier") \
+                if sp is not None else None
+
             def body():
+                sid = sp.begin("barrier.release", mtrack,
+                               bucket="barrier", link=fidh,
+                               epoch=index) if sp is not None else None
                 yield self.sim.timeout(cfg.protocol_op_us)
                 for node_id in range(cfg.nodes):
                     if node_id == self.master:
                         continue
                     size = (RELEASE_BASE_BYTES
                             + WN_BYTES * (total_wn - ep.wn_pages[node_id]))
+                    fid = sp.flow(mtrack, "barrier_release", "barrier",
+                                  node=node_id) if sp is not None else None
                     yield from proto.vmmc.send(
                         self.master, node_id, size, kind="barrier_release",
-                        on_delivered=lambda _m, n=node_id:
-                            ep.release_events[n].succeed())
-                ep.release_events[self.master].succeed()
+                        on_delivered=lambda _m, n=node_id, f=fid:
+                            self._release_node(ep, n, fid=f))
+                fid_m = sp.flow(mtrack, "barrier_release", "barrier",
+                                node=self.master) \
+                    if sp is not None else None
+                self._release_node(ep, self.master, fid=fid_m)
+                if sp is not None:
+                    sp.end(sid)
 
             yield from self.machine.nodes[self.master].handler(
                 body(), entry_delay=False)
+        if sp is not None:
+            sp.end(csid)

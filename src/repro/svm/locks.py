@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, Optional, Tuple
 
+from ..sim.spans import node_track, rank_track
 
 __all__ = ["InterruptLockManager"]
 
@@ -104,16 +105,21 @@ class InterruptLockManager:
         self._host_waiters.setdefault((node_id, lock_id),
                                       deque()).append((rank, ev))
         home = self.home_of(lock_id)
+        sp = self.proto.spans
+        fid = sp.flow(rank_track(rank), "lock_req", "lock",
+                      lock=lock_id) if sp is not None else None
         if home == node_id:
             # In-node request to the protocol process: no interrupt,
             # just a dispatch.
             self.sim.process(
-                self._home_handler(lock_id, node_id, entry_delay=False),
+                self._home_handler(lock_id, node_id, entry_delay=False,
+                                   link=fid),
                 name=f"lockhome.{lock_id}")
         else:
             def at_home(_msg):
                 self.sim.process(
-                    self._home_handler(lock_id, node_id, entry_delay=True),
+                    self._home_handler(lock_id, node_id, entry_delay=True,
+                                       link=fid),
                     name=f"lockhome.{lock_id}")
 
             yield from self.proto.vmmc.send(
@@ -138,17 +144,27 @@ class InterruptLockManager:
         yield self.sim.timeout(self.config.protocol_op_us)
         if tok.pending and not tok.busy:
             tok.busy = True
-            self.sim.process(self._release_grant_handler(node_id, lock_id),
+            sp = self.proto.spans
+            fid = sp.flow(rank_track(rank), "lock_handoff", "lock",
+                          lock=lock_id) if sp is not None else None
+            self.sim.process(self._release_grant_handler(node_id, lock_id,
+                                                         link=fid),
                              name=f"lockrel.{lock_id}")
 
     # -------------------------------------------------------- handler side
 
-    def _home_handler(self, lock_id: int, req_node: int, entry_delay: bool):
+    def _home_handler(self, lock_id: int, req_node: int, entry_delay: bool,
+                      link: Optional[int] = None):
         """Home-side handler: maintain the distributed list, forward."""
         home = self.home_of(lock_id)
         node = self.machine.nodes[home]
+        sp = self.proto.spans
+        htrack = node_track(home)
 
         def body():
+            sid = sp.begin("lock.home", htrack, bucket="lock",
+                           link=link, lock=lock_id) \
+                if sp is not None else None
             yield self.sim.timeout(self.config.protocol_op_us)
             prev = self._tail[lock_id]
             self._tail[lock_id] = req_node
@@ -157,33 +173,51 @@ class InterruptLockManager:
                 # handler activation.
                 yield from self._owner_logic(home, lock_id, req_node)
             else:
+                fid = sp.flow(htrack, "lock_fwd", "lock",
+                              lock=lock_id) if sp is not None else None
+
                 def at_owner(_msg):
                     self.sim.process(
-                        self._owner_handler(prev, lock_id, req_node),
+                        self._owner_handler(prev, lock_id, req_node,
+                                            link=fid),
                         name=f"lockown.{lock_id}")
 
                 yield from self.proto.vmmc.send(
                     home, prev, LOCK_FWD_BYTES, kind="lock_fwd",
                     on_delivered=at_owner)
+            if sp is not None:
+                sp.end(sid)
 
         yield from node.handler(body(), entry_delay=entry_delay)
 
-    def _owner_handler(self, owner_node: int, lock_id: int, req_node: int):
+    def _owner_handler(self, owner_node: int, lock_id: int, req_node: int,
+                       link: Optional[int] = None):
         """Owner-side interrupt handler for a forwarded request."""
         node = self.machine.nodes[owner_node]
+        sp = self.proto.spans
 
         def body():
+            sid = sp.begin("lock.owner", node_track(owner_node),
+                           bucket="lock", link=link, lock=lock_id) \
+                if sp is not None else None
             yield self.sim.timeout(self.config.protocol_op_us)
             yield from self._owner_logic(owner_node, lock_id, req_node)
+            if sp is not None:
+                sp.end(sid)
 
         yield from node.handler(body())
 
-    def _release_grant_handler(self, node_id: int, lock_id: int):
+    def _release_grant_handler(self, node_id: int, lock_id: int,
+                               link: Optional[int] = None):
         """Dispatched by a release with a queued waiter: do the transfer."""
         node = self.machine.nodes[node_id]
         tok = self._token(node_id, lock_id)
+        sp = self.proto.spans
 
         def body():
+            sid = sp.begin("lock.transfer", node_track(node_id),
+                           bucket="lock", link=link, lock=lock_id) \
+                if sp is not None else None
             if tok.pending and tok.present and tok.holder is None:
                 queue = tuple(tok.pending)
                 req_node = tok.pending.popleft()
@@ -193,6 +227,8 @@ class InterruptLockManager:
                 # nothing to transfer after all: drop the guard the
                 # release set when it scheduled us.
                 tok.busy = False
+            if sp is not None:
+                sp.end(sid)
 
         yield from node.handler(body(), entry_delay=False)
 
@@ -231,15 +267,20 @@ class InterruptLockManager:
 
     def _grant_body(self, owner_node: int, lock_id: int, req_node: int):
         proto = self.proto
+        sp = proto.spans
+        otrack = node_track(owner_node)
         if req_node == owner_node:
             self.local_grants += 1
             yield self.sim.timeout(self.config.protocol_op_us)
-            self._grant_arrived(req_node, lock_id, None)
+            fid = sp.flow(otrack, "lock_grant", "lock", lock=lock_id) \
+                if sp is not None else None
+            self._grant_arrived(req_node, lock_id, None, fid=fid)
             return
         # Close + flush on the owner's (interrupted) host processor.
         interval = yield from proto.close_interval_timed(owner_node)
         if interval is not None and proto.features.direct_writes:
-            yield from proto.broadcast_wns(owner_node, interval)
+            yield from proto.broadcast_wns(owner_node, interval,
+                                           track=otrack)
         # Snapshot the timestamp BEFORE flushing: the flush yields, and
         # another local process may close a fresh interval meanwhile.
         # That interval's diffs are not flushed by this grant, so the
@@ -247,7 +288,7 @@ class InterruptLockManager:
         # block on a diff that only flushes once the lock it is holding
         # circulates (deadlock).
         ts = proto.node_clock[owner_node].copy()
-        yield from proto.flush_pending(owner_node)
+        yield from proto.flush_pending(owner_node, track=otrack)
         if proto.features.direct_writes:
             wn_count = 0  # notices were deposited eagerly at releases
         else:
@@ -256,15 +297,18 @@ class InterruptLockManager:
         tok = self._token(owner_node, lock_id)
         tok.present = False
         self.remote_grants += 1
+        fid = sp.flow(otrack, "lock_grant", "lock", lock=lock_id) \
+            if sp is not None else None
         yield from proto.vmmc.send(
             owner_node, req_node,
             GRANT_BASE_BYTES + GRANT_PER_WN_BYTES * wn_count,
             kind="lock_grant",
             on_delivered=lambda _m: self._grant_arrived(
-                req_node, lock_id, ts))
+                req_node, lock_id, ts, fid=fid))
 
     def _grant_arrived(self, node_id: int, lock_id: int,
-                       ts: Optional[Any]) -> None:
+                       ts: Optional[Any],
+                       fid: Optional[int] = None) -> None:
         tok = self._token(node_id, lock_id)
         tok.present = True
         waiters = self._host_waiters.get((node_id, lock_id))
@@ -275,4 +319,7 @@ class InterruptLockManager:
         tok.holder = rank
         self._trace("svmlock.granted", node=node_id, lock=lock_id,
                     rank=rank)
+        sp = self.proto.spans
+        if sp is not None:
+            sp.wake(fid, rank_track(rank), lock=lock_id)
         ev.succeed(ts)

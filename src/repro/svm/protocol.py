@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..hw import Machine
 from ..sim import SimulationError, TimeBuckets
+from ..sim.spans import nic_track, node_track, rank_track
 from ..vmmc import NILockManager, VMMC
 from .barriers import BarrierManager
 from .diffs import DiffShape
@@ -50,16 +51,21 @@ class HLRCProtocol:
 
     def __init__(self, machine: Machine, features: ProtocolFeatures,
                  vmmc: Optional[VMMC] = None, num_locks: int = 1 << 16,
-                 tracer=None):
+                 tracer=None, spans=None):
         self.machine = machine
         #: optional repro.sim.Tracer receiving protocol events.
         self.tracer = tracer
+        #: optional repro.sim.SpanTracer receiving causal spans.
+        self.spans = spans
         #: optional repro.analysis.InvariantChecker (see its install()).
         self.invariants = None
         self.sim = machine.sim
         self.config = machine.config
         self.features = features
         self.vmmc = vmmc or VMMC(machine)
+        if spans is not None and self.vmmc.spans is None:
+            # A protocol built standalone (tests) still spans fetches.
+            self.vmmc.spans = spans
         nodes = self.config.nodes
 
         self.directory = PageDirectory(self.config)
@@ -70,20 +76,24 @@ class HLRCProtocol:
         self.node_clock = [VectorClock(nodes) for _ in range(nodes)]
         #: per node: latest broadcast interval received from each writer.
         self.wn_received = [[0] * nodes for _ in range(nodes)]
-        self._wn_waiters: List[List[Tuple[int, int, object]]] = \
+        #: per node: (writer, wanted interval, event, waiter span track).
+        self._wn_waiters: List[List[Tuple[int, int, object,
+                                          Optional[str]]]] = \
             [[] for _ in range(nodes)]
         #: per node: closed-but-unflushed intervals (lazy diffing).
         self.pending_flush: List[List[Tuple[int, Dict[int, DiffShape]]]] = \
             [[] for _ in range(nodes)]
         self._homes: Dict[int, HomePage] = {}
         self._flags: Dict[int, dict] = {}
-        self._home_waiters: Dict[int, List[Tuple[Dict[int, int], object]]] = {}
+        #: per gid: (needed versions, event, waiter span track).
+        self._home_waiters: Dict[int, List[Tuple[Dict[int, int], object,
+                                                 Optional[str]]]] = {}
         self._inflight_fetch: Dict[Tuple[int, int], object] = {}
 
         # Synchronization managers.
         if features.ni_locks:
             self.ni_locks = NILockManager(self.vmmc, num_locks=num_locks,
-                                          tracer=tracer)
+                                          tracer=tracer, spans=spans)
             self.svm_locks = None
         else:
             self.ni_locks = None
@@ -175,7 +185,8 @@ class HLRCProtocol:
         else:
             # Pull the authoritative copy and its version vector.
             yield from self.vmmc.fetch(node_id, old,
-                                       self.config.page_size + 64)
+                                       self.config.page_size + 64,
+                                       track=rank_track(rank))
             region.homes[index] = node_id
             self.vmmc.exports.export(node_id, gid)
             # Tell everyone where the page now lives.
@@ -220,46 +231,60 @@ class HLRCProtocol:
     def _read_fault(self, rank: int, node_id: int, gid: int):
         cfg = self.config
         table = self.tables[node_id]
-        self._trace("fault.read", rank=rank, gid=gid)
-        yield self.sim.timeout(cfg.page_fault_us)
-        # Another process of this node may already be fetching the page.
-        key = (node_id, gid)
-        inflight = self._inflight_fetch.get(key)
-        if inflight is not None:
-            yield inflight
-            return
-        done = self.sim.event()
-        self._inflight_fetch[key] = done
+        sp = self.spans
+        track = rank_track(rank)
+        sid = sp.begin("page.fault", track, bucket="data", gid=gid) \
+            if sp is not None else None
         try:
-            # needed and the clock snapshot are read back-to-back (no
-            # yield between them): together they name the page version
-            # this fault is obliged to observe, which the sanitizer
-            # replays against the happens-before graph.
-            needed = table.needed_versions(gid)
-            self._trace("fault.fetch", node=node_id, gid=gid,
-                        needed=tuple(sorted(needed.items())),
-                        clock=self.node_clock[node_id].values)
-            home = self._ensure_home(gid, node_id)
-            if home == node_id:
-                yield from self._wait_home_ready(gid, needed)
-            elif self.features.remote_fetch:
-                yield from self._fetch_rf(node_id, gid, home, needed)
-            else:
-                yield from self._fetch_base(node_id, gid, home, needed)
-            cost = self.mprotect.protect(node_id, [gid])
-            yield self.sim.timeout(cost)
-            table.mark_valid(gid)
-            self._trace("fault.done", node=node_id, gid=gid)
+            self._trace("fault.read", rank=rank, gid=gid)
+            yield self.sim.timeout(cfg.page_fault_us)
+            # Another process of this node may already be fetching the
+            # page.
+            key = (node_id, gid)
+            inflight = self._inflight_fetch.get(key)
+            if inflight is not None:
+                yield inflight
+                return
+            done = self.sim.event()
+            self._inflight_fetch[key] = done
+            try:
+                # needed and the clock snapshot are read back-to-back
+                # (no yield between them): together they name the page
+                # version this fault is obliged to observe, which the
+                # sanitizer replays against the happens-before graph.
+                needed = table.needed_versions(gid)
+                self._trace("fault.fetch", node=node_id, gid=gid,
+                            needed=tuple(sorted(needed.items())),
+                            clock=self.node_clock[node_id].values)
+                home = self._ensure_home(gid, node_id)
+                if home == node_id:
+                    yield from self._wait_home_ready(gid, needed,
+                                                     track=track)
+                elif self.features.remote_fetch:
+                    yield from self._fetch_rf(node_id, gid, home, needed,
+                                              track=track)
+                else:
+                    yield from self._fetch_base(node_id, gid, home,
+                                                needed, track=track)
+                cost = self.mprotect.protect(node_id, [gid])
+                yield self.sim.timeout(cost)
+                table.mark_valid(gid)
+                self._trace("fault.done", node=node_id, gid=gid)
+            finally:
+                del self._inflight_fetch[key]
+                done.succeed()
         finally:
-            del self._inflight_fetch[key]
-            done.succeed()
+            if sp is not None:
+                sp.end(sid)
 
-    def _wait_home_ready(self, gid: int, needed: Dict[int, int]):
+    def _wait_home_ready(self, gid: int, needed: Dict[int, int],
+                         track: Optional[str] = None):
         """Local read at the home: wait for outstanding diffs, if any."""
         hp = self._home(gid)
         if not hp.satisfies(needed):
             ev = self.sim.event()
-            self._home_waiters.setdefault(gid, []).append((needed, ev))
+            self._home_waiters.setdefault(gid, []).append(
+                (needed, ev, track))
             yield ev
         yield self.sim.timeout(self.config.protocol_op_us)
         self._trace("fetch.ok", node=self.directory.home_of(gid), gid=gid,
@@ -267,14 +292,19 @@ class HLRCProtocol:
                     needed=tuple(sorted(needed.items())))
 
     def _fetch_base(self, node_id: int, gid: int, home: int,
-                    needed: Dict[int, int]):
+                    needed: Dict[int, int],
+                    track: Optional[str] = None):
         """Interrupt path: request message, home handler deposits page."""
         self.page_fetches += 1
         done = self.sim.event()
+        sp = self.spans
+        fid = sp.flow(track, "page_req", "data", gid=gid) \
+            if sp is not None and track is not None else None
 
         def at_home(_msg):
             self.sim.process(
-                self._home_page_handler(gid, home, needed, node_id, done),
+                self._home_page_handler(gid, home, needed, node_id, done,
+                                        link=fid, wtrack=track),
                 name=f"pagehdl.{gid}")
 
         yield from self.vmmc.send(node_id, home, PAGE_REQ_BYTES,
@@ -286,7 +316,9 @@ class HLRCProtocol:
                     needed=tuple(sorted(needed.items())))
 
     def _home_page_handler(self, gid: int, home: int,
-                           needed: Dict[int, int], requester: int, done):
+                           needed: Dict[int, int], requester: int, done,
+                           link: Optional[int] = None,
+                           wtrack: Optional[str] = None):
         """Home-side interrupt handler for a Base-protocol page request.
 
         If the needed diff has not arrived yet, the request is parked
@@ -297,9 +329,13 @@ class HLRCProtocol:
         """
         node = self.machine.nodes[home]
         hp = self._home(gid)
+        sp = self.spans
+        htrack = node_track(home)
         entry_delay = True
         while True:
             served = [False]
+            hsid = sp.begin("page.home", htrack, bucket="data",
+                            link=link, gid=gid) if sp is not None else None
 
             def body():
                 yield self.sim.timeout(self.config.protocol_op_us)
@@ -308,22 +344,36 @@ class HLRCProtocol:
                     # The reply carries the version snapshot the home
                     # served, so the requester can attest what it read.
                     snap = hp.snapshot()
+                    rfid = sp.flow(htrack, "page_reply", "data",
+                                   gid=gid) if sp is not None else None
+
+                    def reply_arrived(_m):
+                        if sp is not None:
+                            sp.wake(rfid, wtrack)
+                        done.succeed(snap)
+
                     yield from self.vmmc.send(
                         home, requester,
                         self.config.page_size + PAGE_REPLY_EXTRA_BYTES,
                         kind="page_reply",
-                        on_delivered=lambda _m: done.succeed(snap))
+                        on_delivered=reply_arrived)
 
             yield from node.handler(body(), entry_delay=entry_delay)
+            if sp is not None:
+                sp.end(hsid)
             if served[0]:
                 return
             ev = self.sim.event()
-            self._home_waiters.setdefault(gid, []).append((needed, ev))
-            yield ev
+            self._home_waiters.setdefault(gid, []).append(
+                (needed, ev, htrack))
+            # The waker's diff_apply flow id arrives as the event value:
+            # the re-dispatched activation's span links to it.
+            link = yield ev
             entry_delay = False  # re-dispatch, not a fresh interrupt
 
     def _fetch_rf(self, node_id: int, gid: int, home: int,
-                  needed: Dict[int, int]):
+                  needed: Dict[int, int],
+                  track: Optional[str] = None):
         """Remote-fetch path with the timestamp-check retry loop.
 
         The loop is bounded by ``fetch_retry_max``: a home copy that
@@ -337,7 +387,7 @@ class HLRCProtocol:
             self.page_fetches += 1
             reply = yield from self.vmmc.fetch(
                 node_id, home, cfg.page_size + 64,
-                on_served=hp.snapshot)
+                on_served=hp.snapshot, track=track)
             if HomePage.snapshot_satisfies(reply.payload, needed):
                 self._trace("fetch.ok", node=node_id, gid=gid,
                             snapshot=tuple(sorted(reply.payload.items())),
@@ -428,30 +478,34 @@ class HLRCProtocol:
             yield self.sim.timeout(cost)
         return interval
 
-    def flush_pending(self, node_id: int):
+    def flush_pending(self, node_id: int, track: Optional[str] = None):
         """Generator: propagate all closed-but-unflushed diffs to homes.
 
         Runs on whatever simulated process calls it: the releasing
         process (eager, GeNIMA) or a protocol handler servicing an
         incoming acquire (lazy, Base) — the paper's central contrast.
+        ``track`` names the caller's span track so diff flows can be
+        linked from it.
         """
         pending, self.pending_flush[node_id] = \
             self.pending_flush[node_id], []
         for index, dirty in pending:
             for gid in sorted(dirty):
-                yield from self._flush_page(node_id, gid, dirty[gid], index)
+                yield from self._flush_page(node_id, gid, dirty[gid],
+                                            index, track=track)
 
     def _flush_page(self, node_id: int, gid: int, shape: DiffShape,
-                    index: int):
+                    index: int, track: Optional[str] = None):
         cfg = self.config
         home = self.directory.home_of(gid)
+        sp = self.spans if track is not None else None
         self._trace("diff.flush", node=node_id, gid=gid, home=home,
                     runs=shape.runs, bytes=shape.bytes_modified)
         if home == node_id:
             # Home writes land in place: no twin was made, so there is
             # nothing to compare or send — just publish the version.
             yield self.sim.timeout(cfg.protocol_op_us)
-            self._apply_at_home(gid, node_id, index)
+            self._apply_at_home(gid, node_id, index, track=track)
             return
         # Compare the page with its twin.
         yield self.sim.timeout(cfg.diff_scan_us)
@@ -461,9 +515,12 @@ class HLRCProtocol:
             # interrupt at the home, no message blow-up.
             self.diffs_sent += 1
             sg_us = cfg.ni_sg_per_run_us * shape.runs
+            fid = sp.flow(track, "diff", "data", gid=gid) \
+                if sp is not None else None
 
             def sg_landed(_msg):
-                self._apply_at_home(gid, node_id, index)
+                self._apply_at_home(gid, node_id, index,
+                                    track=nic_track(home), via=fid)
 
             yield from self.vmmc.send(
                 node_id, home, shape.packed_message_bytes + 32,
@@ -472,13 +529,18 @@ class HLRCProtocol:
         elif self.features.direct_diffs:
             # One asynchronous deposit per contiguous run, straight
             # into the home copy; the home processor never knows.
+            # The apply is gated by the *last* run landing, so a single
+            # flow covers first-send to last-arrival.
             self.diff_runs_sent += shape.runs
             remaining = [shape.runs]
+            fid = sp.flow(track, "diff", "data", gid=gid) \
+                if sp is not None else None
 
             def run_landed(_msg):
                 remaining[0] -= 1
                 if remaining[0] == 0:
-                    self._apply_at_home(gid, node_id, index)
+                    self._apply_at_home(gid, node_id, index,
+                                        track=nic_track(home), via=fid)
 
             for _run in range(shape.runs):
                 yield from self.vmmc.send(
@@ -490,11 +552,13 @@ class HLRCProtocol:
             self.diffs_sent += 1
             yield self.sim.timeout(
                 cfg.diff_pack_per_kb_us * shape.bytes_modified / 1024.0)
+            fid = sp.flow(track, "diff", "data", gid=gid) \
+                if sp is not None else None
 
             def on_arrival(_msg):
                 self.sim.process(
                     self._home_diff_handler(gid, home, node_id, index,
-                                            shape),
+                                            shape, link=fid),
                     name=f"diffhdl.{gid}")
 
             yield from self.vmmc.send(
@@ -502,31 +566,60 @@ class HLRCProtocol:
                 kind="diff", on_delivered=on_arrival)
 
     def _home_diff_handler(self, gid: int, home: int, writer: int,
-                           index: int, shape: DiffShape):
+                           index: int, shape: DiffShape,
+                           link: Optional[int] = None):
         node = self.machine.nodes[home]
+        sp = self.spans
+        htrack = node_track(home)
         apply_us = (self.config.diff_apply_per_kb_us
                     * shape.bytes_modified / 1024.0
                     + self.config.protocol_op_us)
 
         def body():
+            hsid = sp.begin("diff.home", htrack, bucket="data",
+                            link=link, gid=gid) if sp is not None else None
             yield self.sim.timeout(apply_us)
-            self._apply_at_home(gid, writer, index)
+            self._apply_at_home(gid, writer, index,
+                                track=htrack if sp is not None else None)
+            if sp is not None:
+                sp.end(hsid)
 
         yield from node.handler(body())
 
-    def _apply_at_home(self, gid: int, writer: int, index: int) -> None:
+    def _apply_at_home(self, gid: int, writer: int, index: int,
+                       track: Optional[str] = None,
+                       via: Optional[int] = None) -> None:
+        """Publish a writer's version at the home and release waiters.
+
+        ``track`` is the span track the apply executes on (home NI for
+        deposits, home host for interrupt-applied diffs); ``via`` is
+        the incoming diff's flow id, acknowledged with a wake so the
+        critical path can cross from the flusher to the home.
+        """
         hp = self._home(gid)
         self._trace("home.apply", gid=gid, writer=writer, index=index)
         if hp.applied.get(writer, 0) < index:
             hp.applied[writer] = index
+        sp = self.spans if track is not None else None
+        if sp is not None:
+            sp.wake(via, track, gid=gid)
         waiters = self._home_waiters.get(gid)
         if waiters:
+            released = []
             still = []
-            for needed, ev in waiters:
+            for needed, ev, wtrack in waiters:
                 if hp.satisfies(needed):
-                    ev.succeed()
+                    released.append((ev, wtrack))
                 else:
-                    still.append((needed, ev))
+                    still.append((needed, ev, wtrack))
+            fid = sp.flow(track, "diff_apply", "data", gid=gid) \
+                if sp is not None and released else None
+            for ev, wtrack in released:
+                if sp is not None:
+                    sp.wake(fid, wtrack, gid=gid)
+                # The flow id rides the event value: a re-dispatched
+                # home page handler links its next span to it.
+                ev.succeed(fid)
             if still:
                 self._home_waiters[gid] = still
             else:
@@ -534,7 +627,8 @@ class HLRCProtocol:
 
     # ------------------------------------------------------- write notices
 
-    def broadcast_wns(self, node_id: int, interval: Interval):
+    def broadcast_wns(self, node_id: int, interval: Interval,
+                      track: Optional[str] = None):
         """Generator: eagerly deposit the interval's write notices into
         every other node's protocol data structures (the DW mechanism).
         All sends are asynchronous small messages; with NI multicast
@@ -543,31 +637,42 @@ class HLRCProtocol:
         others = [n for n in range(self.config.nodes) if n != node_id]
         if not others:
             return
+        sp = self.spans if track is not None else None
         if self.features.ni_multicast:
             self.wn_messages += 1
+            fids = {o: sp.flow(track, "wn", "acqrel", dst=o)
+                    for o in others} if sp is not None else {}
             yield from self.vmmc.send_multicast(
                 node_id, others, size, kind="wn",
                 on_packet_delivered=lambda pkt:
-                    self._wn_arrived(pkt.dst, interval))
+                    self._wn_arrived(pkt.dst, interval,
+                                     fid=fids.get(pkt.dst)))
             return
         for other in others:
             self.wn_messages += 1
+            fid = sp.flow(track, "wn", "acqrel", dst=other) \
+                if sp is not None else None
             yield from self.vmmc.send(
                 node_id, other, size, kind="wn",
-                on_delivered=lambda _m, o=other: self._wn_arrived(o, interval))
+                on_delivered=lambda _m, o=other, f=fid:
+                    self._wn_arrived(o, interval, fid=f))
 
-    def _wn_arrived(self, node_id: int, interval: Interval) -> None:
+    def _wn_arrived(self, node_id: int, interval: Interval,
+                    fid: Optional[int] = None) -> None:
         rec = self.wn_received[node_id]
         if rec[interval.node] < interval.index:
             rec[interval.node] = interval.index
         waiters = self._wn_waiters[node_id]
         if waiters:
+            sp = self.spans
             still = []
-            for writer, want, ev in waiters:
+            for writer, want, ev, wtrack in waiters:
                 if rec[writer] >= want:
+                    if sp is not None:
+                        sp.wake(fid, wtrack)
                     ev.succeed()
                 else:
-                    still.append((writer, want, ev))
+                    still.append((writer, want, ev, wtrack))
             self._wn_waiters[node_id] = still
 
     def apply_incoming(self, rank: int, want: Optional[VectorClock]):
@@ -588,8 +693,10 @@ class HLRCProtocol:
                     continue
                 if self.wn_received[node_id][writer] < want[writer]:
                     ev = self.sim.event()
+                    wtrack = rank_track(rank) \
+                        if self.spans is not None else None
                     self._wn_waiters[node_id].append(
-                        (writer, want[writer], ev))
+                        (writer, want[writer], ev, wtrack))
                     yield ev
         have = self.node_clock[node_id]
         if want.dominates(have) and want == have:
@@ -622,19 +729,30 @@ class HLRCProtocol:
         """Generator: acquire a mutual-exclusion lock."""
         t0 = self.sim.now
         node_id = self.config.node_of(rank)
+        sp = self.spans
+        track = rank_track(rank)
+        sid = sp.begin("lock.acquire", track, bucket=bucket,
+                       lock=lock_id) if sp is not None else None
         self._trace("lock.acquire", rank=rank, lock=lock_id)
         if self.features.ni_locks:
-            ts = yield from self.ni_locks.acquire(node_id, lock_id)
+            ts = yield from self.ni_locks.acquire(node_id, lock_id,
+                                                  track=track)
             yield from self.apply_incoming(rank, ts)
         else:
             ts = yield from self.svm_locks.acquire(rank, lock_id)
             yield from self.apply_incoming(rank, ts)
+        if sp is not None:
+            sp.end(sid)
         self.buckets[rank].charge(bucket, self.sim.now - t0)
 
     def unlock(self, rank: int, lock_id: int, bucket: str = "lock"):
         """Generator: release a lock (a *release* in the LRC sense)."""
         t0 = self.sim.now
         node_id = self.config.node_of(rank)
+        sp = self.spans
+        track = rank_track(rank)
+        sid = sp.begin("lock.release", track, bucket=bucket,
+                       lock=lock_id) if sp is not None else None
         self._trace("lock.release", rank=rank, lock=lock_id)
         feats = self.features
         if feats.ni_locks:
@@ -644,26 +762,32 @@ class HLRCProtocol:
             if next_node != node_id:
                 interval = yield from self.close_interval_timed(node_id)
                 if interval is not None and feats.direct_writes:
-                    yield from self.broadcast_wns(node_id, interval)
+                    yield from self.broadcast_wns(node_id, interval,
+                                                  track=track)
                 # Snapshot before flushing (the flush yields; intervals
                 # closed meanwhile must not ride this timestamp), then
                 # flush: with NI locks no incoming acquire ever
                 # interrupts the host, so releases are the only place
                 # lock-ordered diffs can be propagated (Section 2).
                 ts = self.node_clock[node_id].copy()
-                yield from self.flush_pending(node_id)
+                yield from self.flush_pending(node_id, track=track)
             else:
                 ts = self.node_clock[node_id].copy()
-            yield from self.ni_locks.release(node_id, lock_id, ts)
+            yield from self.ni_locks.release(node_id, lock_id, ts,
+                                             track=track)
         else:
             if feats.direct_writes:
                 # Eager write-notice propagation at the release.
                 interval = yield from self.close_interval_timed(node_id)
                 if interval is not None:
-                    yield from self.broadcast_wns(node_id, interval)
+                    yield from self.broadcast_wns(node_id, interval,
+                                                  track=track)
                     if feats.direct_diffs:
-                        yield from self.flush_pending(node_id)
+                        yield from self.flush_pending(node_id,
+                                                      track=track)
             yield from self.svm_locks.release(rank, lock_id)
+        if sp is not None:
+            sp.end(sid)
         self.buckets[rank].charge(bucket, self.sim.now - t0)
 
     # Flag-style pairwise synchronization (consistency only, no mutual
@@ -690,18 +814,24 @@ class HLRCProtocol:
         t0 = self.sim.now
         node_id = self.config.node_of(rank)
         flag = self._flag(flag_id)
+        sp = self.spans
+        track = rank_track(rank)
+        sid = sp.begin("flag.release", track, bucket="acqrel",
+                       flag=flag_id) if sp is not None else None
         interval = yield from self.close_interval_timed(node_id)
         if interval is not None and self.features.direct_writes:
-            yield from self.broadcast_wns(node_id, interval)
+            yield from self.broadcast_wns(node_id, interval, track=track)
         # Snapshot before flushing (see unlock); flags must then flush
         # eagerly in every mode: there is no later incoming acquire to
         # trigger a lazy flush, and the consumer's page fetch would
         # wait forever on the home version otherwise.
         ts = self.node_clock[node_id].copy()
-        yield from self.flush_pending(node_id)
+        yield from self.flush_pending(node_id, track=track)
         flag["version"] += 1
         version = flag["version"]
-        self._flag_set(flag, node_id, version, ts)
+        fid_local = sp.flow(track, "flag", "acqrel", dst=node_id) \
+            if sp is not None else None
+        self._flag_set(flag, node_id, version, ts, fid=fid_local)
         for other in range(self.config.nodes):
             if other == node_id:
                 continue
@@ -711,26 +841,33 @@ class HLRCProtocol:
                 have = self.node_clock[other]
                 size = WN_BASE_BYTES + WN_PER_PAGE_BYTES * len(
                     self.interval_log.notices_between(have, ts))
+            fid = sp.flow(track, "flag", "acqrel", dst=other) \
+                if sp is not None else None
             yield from self.vmmc.send(
                 node_id, other, size, kind="flag",
-                on_delivered=lambda _m, o=other, v=version, t=ts:
-                    self._flag_set(flag, o, v, t))
+                on_delivered=lambda _m, o=other, v=version, t=ts, f=fid:
+                    self._flag_set(flag, o, v, t, fid=f))
+        if sp is not None:
+            sp.end(sid)
         self.buckets[rank].charge("acqrel", self.sim.now - t0)
 
     def _flag_set(self, flag: dict, node_id: int, version: int,
-                  ts: VectorClock) -> None:
+                  ts: VectorClock, fid: Optional[int] = None) -> None:
         if flag["node_seen"][node_id] >= version:
             return
         flag["node_seen"][node_id] = version
         flag["node_ts"][node_id] = ts
         waiters = flag["waiters"][node_id]
         if waiters:
+            sp = self.spans
             still = []
-            for want, ev in waiters:
+            for want, ev, wtrack in waiters:
                 if version >= want:
+                    if sp is not None:
+                        sp.wake(fid, wtrack)
                     ev.succeed()
                 else:
-                    still.append((want, ev))
+                    still.append((want, ev, wtrack))
             flag["waiters"][node_id] = still
 
     def acquire_flag(self, rank: int, flag_id: int):
@@ -739,15 +876,22 @@ class HLRCProtocol:
         t0 = self.sim.now
         node_id = self.config.node_of(rank)
         flag = self._flag(flag_id)
+        sp = self.spans
+        track = rank_track(rank)
+        sid = sp.begin("flag.acquire", track, bucket="acqrel",
+                       flag=flag_id) if sp is not None else None
         want = flag["consumed"].get(rank, 0) + 1
         if flag["node_seen"][node_id] < want:
             ev = self.sim.event()
-            flag["waiters"][node_id].append((want, ev))
+            flag["waiters"][node_id].append(
+                (want, ev, track if sp is not None else None))
             yield ev
         flag["consumed"][rank] = max(flag["consumed"].get(rank, 0), want)
         yield self.sim.timeout(self.config.notify_us)
         ts = flag["node_ts"][node_id]
         yield from self.apply_incoming(rank, ts)
+        if sp is not None:
+            sp.end(sid)
         self.buckets[rank].charge("acqrel", self.sim.now - t0)
 
     # ------------------------------------------------------------- barrier
@@ -755,9 +899,14 @@ class HLRCProtocol:
     def barrier(self, rank: int):
         """Generator: global barrier (see BarrierManager)."""
         epoch = self.barriers.epoch_of(rank)
+        sp = self.spans
+        sid = sp.begin("barrier", rank_track(rank), bucket="barrier",
+                       epoch=epoch) if sp is not None else None
         self._trace("barrier.enter", rank=rank, epoch=epoch)
         yield from self.barriers.barrier(rank)
         self._trace("barrier.exit", rank=rank, epoch=epoch)
+        if sp is not None:
+            sp.end(sid)
 
     # ------------------------------------------------------------- results
 

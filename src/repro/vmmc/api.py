@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..hw import Machine, Message
 from ..hw.packet import Packet
+from ..sim.spans import nic_track
 
 __all__ = ["VMMC", "ExportTable"]
 
@@ -62,10 +63,12 @@ class VMMC:
     #: message kinds consumed by NI firmware (never delivered to host).
     FW_KINDS = ("fetch_req", "lock_op")
 
-    def __init__(self, machine: Machine):
+    def __init__(self, machine: Machine, spans=None):
         self.machine = machine
         self.sim = machine.sim
         self.config = machine.config
+        #: optional repro.sim.SpanTracer for causal fetch spans.
+        self.spans = spans
         self.exports = ExportTable()
         self._delivery_handlers: Dict[str, Callable[[Packet], None]] = {}
         # Wire firmware handlers and delivery dispatch on every NIC.
@@ -186,7 +189,8 @@ class VMMC:
 
     def fetch(self, src: int, dst: int, size: int,
               payload: Any = None,
-              on_served: Optional[Callable[[], Any]] = None):
+              on_served: Optional[Callable[[], Any]] = None,
+              track: Optional[str] = None):
         """Generator: remote fetch of ``size`` bytes of ``dst``'s memory
         into ``src``'s memory (the extension of Section 2).
 
@@ -198,22 +202,34 @@ class VMMC:
         attached to the reply as ``payload`` — protocol layers use it to
         snapshot e.g. the page's timestamp at the moment it was read.
 
+        ``track`` names the caller's span track: when spans are armed
+        the fetch is recorded as a span with a request flow into the
+        serving NI and a reply flow back.
+
         Returns the reply :class:`Message`.
         """
         if src == dst:
             raise ValueError("fetch from own node must be handled locally")
         self.fetches += 1
         done = self.sim.event()
+        sp = self.spans if track is not None else None
+        sid = sp.begin("vmmc.fetch", track, bucket="data",
+                       dst=dst) if sp is not None else None
+        fid = sp.flow_from(sid, "fetch_req", "data") \
+            if sp is not None else None
         request = Message(
             src=src, dst=dst, size=8, kind="fetch_req",
-            deliver_to_host=False,
+            deliver_to_host=False, span_flow=fid,
             payload=_FetchState(size=size, requester=src, user=payload,
-                                on_served=on_served, done=done),
+                                on_served=on_served, done=done,
+                                track=track),
         )
         yield self.sim.timeout(self.config.post_overhead_us)
         yield self.machine.nics[src].post(request)
         reply = yield done
         yield self.sim.timeout(self.config.notify_us)
+        if sp is not None:
+            sp.end(sid)
         return reply
 
     def _fw_fetch_req(self, pkt: Packet):
@@ -228,10 +244,21 @@ class VMMC:
 
         def serve():
             served_value = state.on_served() if state.on_served else None
+            sp = self.spans if state.track is not None else None
+            # The recv loop's ni.fw span is still open here, so the
+            # reply flow's source is the firmware service itself.
+            rfid = sp.flow(nic_track(pkt.dst), "fetch_reply", "data") \
+                if sp is not None else None
+
+            def reply_done(m):
+                if sp is not None:
+                    sp.wake(rfid, state.track)
+                state.done.succeed(m)
+
             reply = Message(
                 src=pkt.dst, dst=state.requester, size=state.size,
                 kind="fetch_reply", payload=served_value,
-                on_delivered=lambda m: state.done.succeed(m),
+                on_delivered=reply_done,
             )
             nic.fw_send(reply, read_host_bytes=True)
 
@@ -245,11 +272,14 @@ class VMMC:
 class _FetchState:
     """Book-keeping carried by a fetch request packet."""
 
-    __slots__ = ("size", "requester", "user", "on_served", "done")
+    __slots__ = ("size", "requester", "user", "on_served", "done",
+                 "track")
 
-    def __init__(self, size, requester, user, on_served, done):
+    def __init__(self, size, requester, user, on_served, done,
+                 track=None):
         self.size = size
         self.requester = requester
         self.user = user
         self.on_served = on_served
         self.done = done
+        self.track = track

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..hw import Message
 from ..hw.packet import Packet
+from ..sim.spans import nic_track
 from .api import VMMC
 
 __all__ = ["NILockManager"]
@@ -49,13 +50,17 @@ class NILockManager:
 
     def __init__(self, vmmc: VMMC, num_locks: int,
                  home_fn: Optional[Callable[[int], int]] = None,
-                 tracer=None):
+                 tracer=None, spans=None):
         self.vmmc = vmmc
         self.machine = vmmc.machine
         self.sim = vmmc.sim
         self.config = vmmc.config
         #: optional repro.sim.Tracer receiving ``nilock.*`` events.
         self.tracer = tracer
+        #: optional repro.sim.SpanTracer: lock_req/lock_fwd/lock_grant
+        #: flows ride the messages' ``span_flow`` so the requester's
+        #: wait links causally through home and owner NIs.
+        self.spans = spans
         self.num_locks = num_locks
         nodes = self.config.nodes
         self._home_fn = home_fn or (lambda lock_id: lock_id % nodes)
@@ -110,8 +115,13 @@ class NILockManager:
 
     # ----------------------------------------------------------- host side
 
-    def acquire(self, node: int, lock_id: int):
+    def acquire(self, node: int, lock_id: int,
+                track: Optional[str] = None):
         """Generator: acquire ``lock_id`` for a process on ``node``.
+
+        ``track`` names the requester's span track (when spans are
+        armed): the request flow originates there and the eventual
+        grant's wake lands back on it.
 
         Returns the protocol timestamp carried by the grant.
         """
@@ -121,7 +131,9 @@ class NILockManager:
         self._trace("nilock.acquire", node=node, lock=lock_id)
         cfg = self.config
         ev = self.sim.event()
-        self._host_waiters.setdefault((node, lock_id), deque()).append(ev)
+        wtrack = track if self.spans is not None else None
+        self._host_waiters.setdefault((node, lock_id),
+                                      deque()).append((ev, wtrack))
         # Doorbell the request into our own NI; the *firmware* decides
         # atomically between a local re-grant ("the last owner keeps
         # the lock until another processor needs it") and the home
@@ -129,33 +141,41 @@ class NILockManager:
         # acquirers.
         yield self.sim.timeout(cfg.post_overhead_us)
         yield from self._lanai_op(node, self._acquire_doorbell,
-                                  node, lock_id)
+                                  node, lock_id, wtrack)
         ts = yield ev
         yield self.sim.timeout(cfg.notify_us)
         return ts
 
-    def _acquire_doorbell(self, node: int, lock_id: int) -> None:
+    def _acquire_doorbell(self, node: int, lock_id: int,
+                          track: Optional[str] = None) -> None:
         """Firmware decision for a host acquire request."""
         tok = self._token(node, lock_id)
         home = self.home_of(lock_id)
+        sp = self.spans if track is not None else None
         if tok.present and not tok.held and not tok.pending:
-            self._grant(node, lock_id, node)
+            self._grant(node, lock_id, node, src_track=track)
         elif home == node:
-            self._home_acquire(node, lock_id, node)
+            self._home_acquire(node, lock_id, node, src_track=track)
         else:
+            fid = sp.flow(track, "lock_req", "lock", lock=lock_id) \
+                if sp is not None else None
             msg = Message(src=node, dst=home, size=ACQUIRE_BYTES,
                           kind="lock_op", deliver_to_host=False,
+                          span_flow=fid,
                           payload=("acquire", lock_id, node))
             self.machine.nics[node].fw_send(msg)
 
-    def release(self, node: int, lock_id: int, ts: Any = None):
+    def release(self, node: int, lock_id: int, ts: Any = None,
+                track: Optional[str] = None):
         """Generator: release ``lock_id``, storing ``ts`` in the NI.
 
         A purely local NI operation; if a waiter is queued at this NI
         the firmware hands the lock over immediately.
         """
         yield self.sim.timeout(self.config.post_overhead_us)
-        yield from self._lanai_op(node, self._do_release, node, lock_id, ts)
+        yield from self._lanai_op(node, self._do_release, node, lock_id,
+                                  ts, track if self.spans is not None
+                                  else None)
 
     def _lanai_op(self, node: int, fn, *args):
         """Run a firmware action on ``node``'s LANai (host doorbell)."""
@@ -168,6 +188,7 @@ class NILockManager:
     def _fw_lock_op(self, pkt: Packet):
         """Receive-path firmware handler for lock packets."""
         op = pkt.message.payload
+        flow = pkt.message.span_flow
         node = pkt.dst
 
         def run():
@@ -181,14 +202,20 @@ class NILockManager:
                 self._owner_forward(node, lock_id, requester)
             elif kind == "grant":
                 _k, lock_id, ts = op
-                self._arrive_grant(node, lock_id, ts)
+                self._arrive_grant(node, lock_id, ts, fid=flow)
             else:
                 raise ValueError(f"unknown lock op {kind!r}")
 
         return run()
 
-    def _home_acquire(self, home: int, lock_id: int, requester: int) -> None:
-        """Home NI: append ``requester`` to the distributed list."""
+    def _home_acquire(self, home: int, lock_id: int, requester: int,
+                      src_track: Optional[str] = None) -> None:
+        """Home NI: append ``requester`` to the distributed list.
+
+        ``src_track`` is set only when invoked straight from the local
+        acquire doorbell; on the receive path the recv loop's ``ni.fw``
+        span is open on this NI's track and serves as the flow source.
+        """
         if lock_id not in self._tail:
             self.init_lock(lock_id)
         prev = self._tail[lock_id]
@@ -196,25 +223,32 @@ class NILockManager:
         self._trace("nilock.chain", home=home, lock=lock_id,
                     requester=requester, prev=prev)
         if prev == home:
-            self._owner_forward(home, lock_id, requester)
+            self._owner_forward(home, lock_id, requester,
+                                src_track=src_track)
         else:
+            sp = self.spans
+            fid = sp.flow(src_track or nic_track(home), "lock_fwd",
+                          "lock", lock=lock_id) \
+                if sp is not None else None
             msg = Message(src=home, dst=prev, size=FORWARD_BYTES,
                           kind="lock_op", deliver_to_host=False,
+                          span_flow=fid,
                           payload=("forward", lock_id, requester))
             self.machine.nics[home].fw_send(msg)
 
-    def _owner_forward(self, owner: int, lock_id: int,
-                       requester: int) -> None:
+    def _owner_forward(self, owner: int, lock_id: int, requester: int,
+                       src_track: Optional[str] = None) -> None:
         """Last-owner NI: grant now or remember the waiter."""
         tok = self._token(owner, lock_id)
         if tok.present and not tok.held and not tok.pending:
-            self._grant(owner, lock_id, requester)
+            self._grant(owner, lock_id, requester, src_track=src_track)
         else:
             tok.pending.append(requester)
             self._trace("nilock.wait", node=owner, lock=lock_id,
                         requester=requester, queue=tuple(tok.pending))
 
-    def _do_release(self, node: int, lock_id: int, ts: Any) -> None:
+    def _do_release(self, node: int, lock_id: int, ts: Any,
+                    track: Optional[str] = None) -> None:
         tok = self._token(node, lock_id)
         if not (tok.present and tok.held):
             raise AssertionError(
@@ -225,10 +259,11 @@ class NILockManager:
                     queue=tuple(tok.pending))
         if tok.pending:
             queue = tuple(tok.pending)
-            self._grant(node, lock_id, tok.pending.popleft(), queue=queue)
+            self._grant(node, lock_id, tok.pending.popleft(), queue=queue,
+                        src_track=track)
 
     def _grant(self, owner: int, lock_id: int, requester: int,
-               queue: tuple = ()) -> None:
+               queue: tuple = (), src_track: Optional[str] = None) -> None:
         tok = self._token(owner, lock_id)
         ts = tok.ts
         # ``queue`` is the NI's waiter list at the grant decision (the
@@ -237,20 +272,28 @@ class NILockManager:
         self._trace("nilock.grant", node=owner, lock=lock_id,
                     requester=requester, queue=queue,
                     present=tok.present, held=tok.held)
+        sp = self.spans
+        # The grant flow originates wherever the decision ran: the
+        # releaser's/acquirer's own track for doorbell-driven grants,
+        # this NI's firmware lane for receive-path grants.
+        fid = sp.flow(src_track or nic_track(owner), "lock_grant",
+                      "lock", lock=lock_id) if sp is not None else None
         if requester == owner:
             # Same-node handoff: token stays put.
             self.local_grants += 1
-            self._arrive_grant(owner, lock_id, ts)
+            self._arrive_grant(owner, lock_id, ts, fid=fid)
             return
         tok.present = False
         tok.ts = None
         self.remote_grants += 1
         msg = Message(src=owner, dst=requester, size=GRANT_BYTES,
                       kind="lock_op", deliver_to_host=False,
+                      span_flow=fid,
                       payload=("grant", lock_id, ts))
         self.machine.nics[owner].fw_send(msg)
 
-    def _arrive_grant(self, node: int, lock_id: int, ts: Any) -> None:
+    def _arrive_grant(self, node: int, lock_id: int, ts: Any,
+                      fid: Optional[int] = None) -> None:
         tok = self._token(node, lock_id)
         tok.present = True
         tok.held = True
@@ -260,4 +303,7 @@ class NILockManager:
         if not waiters:
             raise AssertionError(
                 f"grant of lock {lock_id} at node {node} with no waiter")
-        waiters.popleft().succeed(ts)
+        ev, wtrack = waiters.popleft()
+        if self.spans is not None:
+            self.spans.wake(fid, wtrack, lock=lock_id)
+        ev.succeed(ts)

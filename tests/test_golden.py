@@ -8,7 +8,8 @@ made deliberately (then update these bands and EXPERIMENTS.md).
 import pytest
 
 from repro import BASE, GENIMA, run_sequential, run_svm, speedup
-from repro.apps import WaterNsquared, WaterSpatial
+from repro.apps import BarnesSpatial, WaterNsquared, WaterSpatial
+from repro.sim import Tracer
 
 
 def test_water_spatial_genima_speedup_band():
@@ -29,3 +30,38 @@ def test_water_nsquared_improvement_band():
 def test_sequential_times_are_stable():
     seq = run_sequential(WaterSpatial())
     assert seq.time_us == pytest.approx(426_000, rel=0.05)
+
+
+# ------------------------------------------------- span-trace determinism
+
+def _spanned_run(spans=True):
+    tracer = Tracer(capacity=None)
+    result = run_svm(BarnesSpatial(), GENIMA, tracer=tracer, spans=spans)
+    return tracer, result
+
+
+def test_spanned_trace_is_byte_identical_across_runs():
+    tr1, r1 = _spanned_run()
+    tr2, r2 = _spanned_run()
+    assert r1.time_us == r2.time_us
+    assert tr1.to_jsonl() == tr2.to_jsonl()
+
+
+def test_spans_do_not_perturb_the_schedule():
+    """Arming spans adds span.* records but changes nothing else:
+    the non-span event stream and the run result stay identical."""
+    tr_off, r_off = _spanned_run(spans=False)
+    tr_on, r_on = _spanned_run(spans=True)
+    assert r_on.time_us == r_off.time_us
+    assert not [e for e in tr_off.events
+                if e.category.startswith("span.")]
+    span_count = 0
+    base = [(e.t, e.category, e.fields) for e in tr_off.events]
+    kept = []
+    for e in tr_on.events:
+        if e.category.startswith("span."):
+            span_count += 1
+        else:
+            kept.append((e.t, e.category, e.fields))
+    assert span_count > 0
+    assert kept == base

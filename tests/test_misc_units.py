@@ -107,14 +107,19 @@ def test_chrome_trace_export(tmp_path):
     tr.record(1.5, "lock.acquire", rank=3, lock=7)
     tr.record(2.5, "barrier.enter", rank=0)
     events = tr.to_chrome_trace()
-    assert events[0]["name"] == "lock.acquire"
-    assert events[0]["tid"] == 3
-    assert events[0]["ts"] == 1.5
+    meta = [e for e in events if e["ph"] == "M"]
+    # process label + one thread label per rank row
+    assert [m["args"]["name"] for m in meta] == \
+        ["repro", "rank 0", "rank 3"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants[0]["name"] == "lock.acquire"
+    assert instants[0]["tid"] == 3
+    assert instants[0]["ts"] == 1.5
     path = tmp_path / "trace.json"
     tr.save_chrome_trace(path)
     loaded = json.loads(path.read_text())
-    assert len(loaded) == 2
-    assert loaded[1]["name"] == "barrier.enter"
+    assert loaded == events
+    assert loaded[-1]["name"] == "barrier.enter"
 
 
 # --------------------------------------------------------------- reporting

@@ -1,7 +1,7 @@
 """Tests for the tracing facility and its protocol integration."""
 
 from repro.hw import Machine, MachineConfig
-from repro.sim import TraceEvent, Tracer
+from repro.sim import SpanTracer, Simulator, TraceEvent, Tracer
 from repro.svm import BASE, GENIMA, HLRCProtocol
 
 
@@ -18,6 +18,18 @@ def test_record_and_query():
     assert len(tr.filter("lock")) == 1
     assert tr.counts() == {"fetch": 1, "fetch.retry": 1,
                            "lock.acquire": 1}
+
+
+def test_count_prefix():
+    tr = Tracer()
+    tr.record(1.0, "fetch", gid=7)
+    tr.record(2.0, "fetch.retry", gid=7)
+    tr.record(3.0, "lock.acquire", rank=0)
+    # count() is exact-match; count_prefix() sums whole families.
+    assert tr.count("fetch") == 1
+    assert tr.count_prefix("fetch") == 2
+    assert tr.count_prefix("lock") == 1
+    assert tr.count_prefix("barrier") == 0
 
 
 def test_category_filter_by_prefix():
@@ -58,6 +70,70 @@ def test_event_str():
     e = TraceEvent(t=12.5, category="lock.acquire",
                    fields={"rank": 3})
     assert "lock.acquire" in str(e) and "rank=3" in str(e)
+
+
+# ------------------------------------------------------------ span tracing
+
+def test_span_tracer_records_parent_and_link():
+    tr = Tracer()
+    sim = Simulator()
+    sp = SpanTracer(tr, sim)
+    outer = sp.begin("run", "r0", bucket="compute", rank=0)
+    fid = sp.flow("r0", "page_req", "data", gid=9)
+    inner = sp.begin("ni.fw", "ni1", bucket="data", link=fid)
+    sp.wake(fid, "r0")
+    sp.end(inner)
+    sp.end(outer)
+    cats = [e.category for e in tr.events]
+    assert cats == ["span.begin", "span.flow", "span.begin",
+                    "span.wake", "span.end", "span.end"]
+    begin_outer, flow, begin_inner, wake = tr.events[:4]
+    assert "parent" not in begin_outer.fields  # top-level span
+    assert flow.fields["src"] == begin_outer.fields["sid"]
+    assert begin_inner.fields["link"] == fid
+    assert wake.fields == {"fid": fid, "track": "r0"}
+
+
+def test_span_tracer_nested_parent_on_same_track():
+    tr = Tracer()
+    sp = SpanTracer(tr, Simulator())
+    a = sp.begin("run", "r0")
+    b = sp.begin("page.fault", "r0", bucket="data")
+    assert tr.events[-1].fields["parent"] == a
+    sp.end(b)
+    sp.end(a)
+    assert sp.current("r0") is None
+
+
+def test_chrome_trace_converts_spans():
+    tr = Tracer()
+    sp = SpanTracer(tr, Simulator())
+    sid = sp.begin("run", "r0", bucket="compute")
+    fid = sp.flow("r0", "page_req", "data")
+    hid = sp.begin("host.handler", "h1", bucket="data", link=fid)
+    sp.end(hid)
+    sp.end(sid)
+    events = tr.to_chrome_trace()
+    phases = [e["ph"] for e in events if e["ph"] not in "Mi"]
+    # B(run) s(flow) B(handler)+f(link arrow) E E
+    assert phases == ["B", "s", "B", "f", "E", "E"]
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert {"repro", "rank 0", "h1"} <= names
+    b_run = next(e for e in events if e["ph"] == "B")
+    assert b_run["tid"] == 0  # r0 shares the rank-0 row
+
+
+def test_chrome_trace_unranked_events_get_own_row():
+    tr = Tracer()
+    tr.record(1.0, "lock.acquire", rank=0)
+    tr.record(2.0, "retx.timeout", node=1)  # no rank field
+    events = tr.to_chrome_trace()
+    rows = {e["args"]["name"]: e["tid"]
+            for e in events if e["ph"] == "M" and "tid" in e}
+    instants = {e["name"]: e["tid"] for e in events if e["ph"] == "i"}
+    assert instants["lock.acquire"] == rows["rank 0"]
+    assert instants["retx.timeout"] == rows["(events)"]
+    assert rows["(events)"] != rows["rank 0"]
 
 
 # ------------------------------------------------------ protocol integration
