@@ -1,7 +1,13 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__name__`` guard is load-bearing: ``multiprocessing``'s spawn
+workers (the ``--jobs`` grid executor) re-import this module as
+``__mp_main__`` while bootstrapping, and must not re-run the CLI.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,15 @@ class PathStep:
                 "t0": self.t0, "t1": self.t1, "label": self.label,
                 "to_track": self.to_track, "buckets": dict(self.buckets)}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "PathStep":
+        """Inverse of :meth:`to_dict` (used by the run-cache codec)."""
+        return cls(kind=data["kind"], track=data["track"],
+                   t0=data["t0"], t1=data["t1"],
+                   buckets=dict(data.get("buckets", {})),
+                   label=data.get("label", ""),
+                   to_track=data.get("to_track", ""))
+
 
 @dataclass
 class CriticalPath:
@@ -109,6 +118,19 @@ class CriticalPath:
                 "complete": self.complete,
                 "buckets": dict(self.buckets),
                 "steps": [s.to_dict() for s in self.steps]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CriticalPath":
+        """Inverse of :meth:`to_dict` (used by the run-cache codec);
+        ``residual_us`` is derived, so it is not read back."""
+        return cls(steps=[PathStep.from_dict(s)
+                          for s in data.get("steps", [])],
+                   total_us=data["total_us"],
+                   wall_us=data["wall_us"],
+                   start_skew_us=data["start_skew_us"],
+                   terminal_track=data["terminal_track"],
+                   complete=data["complete"],
+                   buckets=dict(data.get("buckets", {})))
 
 
 # -------------------------------------------------------------- parsing

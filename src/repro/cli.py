@@ -35,6 +35,16 @@ PROTOCOLS = {f.name: f
 CHECK_APPS = ("Barnes-spatial", "Water-spatial")
 
 
+def _make_cache(args, config=None):
+    """Experiment cache from the shared grid options (see
+    ``_grid_parent``): ``--jobs`` sizes the worker pool, ``--cache-dir``
+    overrides the store root, ``--no-cache`` disables persistence."""
+    from .experiments import ExperimentCache
+    from .runtime import ResultStore
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    return ExperimentCache(config=config, jobs=args.jobs, store=store)
+
+
 def _cmd_list(_args) -> int:
     print("applications:")
     for name in PAPER_APPS:
@@ -93,11 +103,14 @@ def _cmd_run(args) -> int:
 
 def _cmd_ladder(args) -> int:
     from .experiments import format_table
-    cls = APP_REGISTRY[args.app]
-    seq = run_sequential(cls())
+    cache = _make_cache(args)
+    cache.warm([cache.spec_seq(args.app)]
+               + [cache.spec_svm(args.app, feats)
+                  for feats in PROTOCOL_LADDER])
+    seq = cache.seq(args.app)
     rows = []
     for feats in PROTOCOL_LADDER:
-        result = run_svm(cls(), feats)
+        result = cache.svm(args.app, feats)
         rows.append((feats.name, speedup(seq, result),
                      result.stats["interrupts"],
                      result.stats["messages"]))
@@ -115,22 +128,23 @@ def _cmd_figure(args) -> int:
         "4": (ex.compute_figure4, ex.render_figure4),
     }
     compute, render = fns[args.number]
-    print(render(compute()))
+    print(render(compute(_make_cache(args))))
     return 0
 
 
 def _cmd_table(args) -> int:
     from . import experiments as ex
+    cache = _make_cache(args)
     if args.number == "1":
-        print(ex.render_table1(ex.compute_table1()))
+        print(ex.render_table1(ex.compute_table1(cache)))
     elif args.number == "2":
-        print(ex.render_table2(ex.compute_table2()))
+        print(ex.render_table2(ex.compute_table2(cache)))
     elif args.number in ("3", "4"):
-        data = ex.compute_table34()
+        data = ex.compute_table34(cache)
         print(ex.render_table34(
             data, "small" if args.number == "3" else "large"))
     elif args.number == "5":
-        print(ex.render_table5(ex.compute_table5()))
+        print(ex.render_table5(ex.compute_table5(cache)))
     return 0
 
 
@@ -151,7 +165,8 @@ def _cmd_faultsweep(args) -> int:
     feats = PROTOCOLS[args.protocol]
     rows = compute_faultsweep(args.app, feats,
                               loss_rates=args.loss or DEFAULT_LOSS_RATES,
-                              seed=args.seed, jitter_us=args.jitter)
+                              seed=args.seed, jitter_us=args.jitter,
+                              cache=_make_cache(args))
     print(render_faultsweep(rows, args.app, feats.name))
     return 0
 
@@ -167,7 +182,7 @@ def _resolve_name(value: str, names, what: str) -> str:
 
 
 def _cmd_profile(args) -> int:
-    from .experiments import collect_profile
+    from .experiments import collect_profiles_grid
     from .obs import (PROFILE_SCHEMA, render_profiles, render_profiles_html,
                       render_timeline, render_utilization)
     app_name = _resolve_name(args.app, APP_REGISTRY, "application")
@@ -175,12 +190,11 @@ def _cmd_profile(args) -> int:
                      for v in (args.variant or ["GeNIMA"])]
     cls = APP_REGISTRY[app_name]
     config = MachineConfig(nodes=args.nodes)
-    profiles = []
-    for name in variant_names:
-        app = cls(**cls.paper_params) if args.paper_size else cls()
-        profiles.append(collect_profile(app, PROTOCOLS[name],
-                                        config=config,
-                                        slice_us=args.slice_us))
+    profiles = collect_profiles_grid(
+        app_name, [PROTOCOLS[n] for n in variant_names],
+        cache=_make_cache(args, config=config), config=config,
+        slice_us=args.slice_us,
+        params=cls.paper_params if args.paper_size else None)
     payload = {"schema": PROFILE_SCHEMA,
                "profiles": [p.to_dict() for p in profiles]}
     with open(args.out, "w") as fh:
@@ -214,18 +228,26 @@ def _cmd_critpath(args) -> int:
     from .analysis import (CRITPATH_SCHEMA, Sanitizer, render_ladder_diff,
                            render_path)
     from .obs import TIME_TOLERANCE_US
-    from .experiments import collect_critpath
+    from .experiments import collect_critpath, collect_critpaths_grid
     app_name = _resolve_name(args.app, APP_REGISTRY, "application")
     variant_names = [_resolve_name(v, PROTOCOLS, "protocol variant")
                      for v in (args.variant
                                or [f.name for f in PROTOCOL_LADDER])]
     cls = APP_REGISTRY[app_name]
     config = MachineConfig(nodes=args.nodes)
-    runs = []
-    for name in variant_names:
-        app = cls(**cls.paper_params) if args.paper_size else cls()
-        runs.append(collect_critpath(app, PROTOCOLS[name], config=config,
-                                     check=args.check))
+    if args.perfetto or args.check:
+        # Perfetto export and the sanitizer consume the live span
+        # stream, which the store does not keep: run serial and fresh.
+        runs = []
+        for name in variant_names:
+            app = cls(**cls.paper_params) if args.paper_size else cls()
+            runs.append(collect_critpath(app, PROTOCOLS[name],
+                                         config=config, check=args.check))
+    else:
+        runs = collect_critpaths_grid(
+            app_name, [PROTOCOLS[n] for n in variant_names],
+            cache=_make_cache(args, config=config), config=config,
+            params=cls.paper_params if args.paper_size else None)
     for run in runs:
         print(render_path(run.path, name=f"{app_name}/{run.variant}",
                           max_steps=args.max_steps))
@@ -334,11 +356,50 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    """Inspect or wipe the persistent run store."""
+    from .runtime import ResultStore
+    from .runtime.parallel import STORE_SCHEMA
+    store = ResultStore(args.cache_dir)
+    if args.wipe:
+        n = len(store)
+        store.wipe()
+        print(f"wiped {n} entr{'y' if n == 1 else 'ies'} from "
+              f"{store.version_dir}")
+        return 0
+    print(f"cache root : {store.root}")
+    print(f"schema     : v{STORE_SCHEMA}")
+    print(f"entries    : {len(store)}")
+    if args.verbose:
+        for digest, envelope in store.entries():
+            cell = envelope.get("cell", {})
+            print(f"  {digest[:16]}  {cell.get('kind', '?'):8s} "
+                  f"{cell.get('app', '?')}")
+    return 0
+
+
+def _grid_parent() -> argparse.ArgumentParser:
+    """Shared options for every grid-driven subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    grid = parent.add_argument_group("grid execution and caching")
+    grid.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="evaluate missing grid cells on N worker "
+                           "processes (default: 1, in-process; results "
+                           "are byte-identical for any N)")
+    grid.add_argument("--cache-dir", metavar="DIR", default=None,
+                      help="persistent run-cache root (default: "
+                           "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    grid.add_argument("--no-cache", action="store_true",
+                      help="do not read or write the persistent cache")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GeNIMA reproduction (Bilas, Liao & Singh, ISCA 1999)")
     sub = parser.add_subparsers(dest="command", required=True)
+    grid_parent = _grid_parent()
 
     sub.add_parser("list", help="list applications and protocols") \
         .set_defaults(fn=_cmd_list)
@@ -359,17 +420,19 @@ def build_parser() -> argparse.ArgumentParser:
                           "transport)")
     run.set_defaults(fn=_cmd_run)
 
-    ladder = sub.add_parser("ladder",
+    ladder = sub.add_parser("ladder", parents=[grid_parent],
                             help="one app across the protocol ladder")
     ladder.add_argument("--app", required=True,
                         choices=sorted(APP_REGISTRY))
     ladder.set_defaults(fn=_cmd_ladder)
 
-    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig = sub.add_parser("figure", parents=[grid_parent],
+                         help="regenerate a paper figure")
     fig.add_argument("number", choices=["1", "2", "3", "4"])
     fig.set_defaults(fn=_cmd_figure)
 
-    tab = sub.add_parser("table", help="regenerate a paper table")
+    tab = sub.add_parser("table", parents=[grid_parent],
+                         help="regenerate a paper table")
     tab.add_argument("number", choices=["1", "2", "3", "4", "5"])
     tab.set_defaults(fn=_cmd_table)
 
@@ -380,7 +443,8 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.set_defaults(fn=_cmd_traffic)
 
     sweep = sub.add_parser(
-        "faultsweep", help="completion time vs. injected packet loss")
+        "faultsweep", parents=[grid_parent],
+        help="completion time vs. injected packet loss")
     sweep.add_argument("--app", required=True,
                        choices=sorted(APP_REGISTRY))
     sweep.add_argument("--protocol", default="GeNIMA",
@@ -395,8 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(fn=_cmd_faultsweep)
 
     prof = sub.add_parser(
-        "profile", help="profiled run: phase timelines, utilization "
-                        "and a JSON profile (Figure 3 style)")
+        "profile", parents=[grid_parent],
+        help="profiled run: phase timelines, utilization "
+             "and a JSON profile (Figure 3 style)")
     prof.add_argument("--app", required=True,
                       help="application (case-insensitive)")
     prof.add_argument("--variant", action="append",
@@ -416,8 +481,9 @@ def build_parser() -> argparse.ArgumentParser:
     prof.set_defaults(fn=_cmd_profile)
 
     crit = sub.add_parser(
-        "critpath", help="spanned run: critical-path chain, Figure-3 "
-                         "bucket split, ladder diff and Perfetto export")
+        "critpath", parents=[grid_parent],
+        help="spanned run: critical-path chain, Figure-3 "
+             "bucket split, ladder diff and Perfetto export")
     crit.add_argument("--app", required=True,
                       help="application (case-insensitive)")
     crit.add_argument("--variant", action="append",
@@ -443,6 +509,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("calibrate",
                    help="communication-layer microbenchmarks") \
         .set_defaults(fn=_cmd_calibrate)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or wipe the persistent run cache")
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
+    cache.add_argument("--wipe", action="store_true",
+                       help="delete every entry of the current schema")
+    cache.add_argument("-v", "--verbose", action="store_true",
+                       help="list entries (digest, kind, app)")
+    cache.set_defaults(fn=_cmd_cache)
 
     check = sub.add_parser(
         "check", help="trace-sanitize app x protocol runs")

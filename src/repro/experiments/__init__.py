@@ -7,13 +7,15 @@ from .ablations import (ablate_diff_scatter, ablate_eager_wn,
 from .cache import CACHE, ExperimentCache
 from .calibration import (measure_comm_layer, measure_page_fetch,
                           render_calibration)
-from .critpath import CritpathRun, collect_critpath, collect_critpaths
+from .critpath import (CritpathRun, collect_critpath, collect_critpaths,
+                       collect_critpaths_grid)
 from .faultsweep import (DEFAULT_LOSS_RATES, compute_faultsweep,
                          render_faultsweep)
 from .figures import (compute_figure1, compute_figure2, compute_figure3,
                       compute_figure4, render_figure1, render_figure2,
                       render_figure3, render_figure4)
-from .profile import collect_profile, collect_profiles
+from .profile import (collect_profile, collect_profiles,
+                      collect_profiles_grid)
 from .reporting import format_table
 from .sensitivity import (interrupt_cost_sensitivity, render_scaling,
                           render_sensitivity, scaling_study)
@@ -25,8 +27,9 @@ from .tables import (compute_table1, compute_table2, compute_table34,
 __all__ = [
     "CACHE",
     "ExperimentCache",
-    "collect_profile", "collect_profiles",
+    "collect_profile", "collect_profiles", "collect_profiles_grid",
     "CritpathRun", "collect_critpath", "collect_critpaths",
+    "collect_critpaths_grid",
     "format_table",
     "measure_comm_layer",
     "measure_page_fetch",

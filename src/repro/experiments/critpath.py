@@ -20,17 +20,23 @@ from ..hw import MachineConfig
 from ..runtime import run_svm
 from ..sim import Tracer
 
-__all__ = ["CritpathRun", "collect_critpath", "collect_critpaths"]
+__all__ = ["CritpathRun", "collect_critpath", "collect_critpaths",
+           "collect_critpaths_grid"]
 
 
 @dataclass
 class CritpathRun:
-    """One spanned run: its result, critical path and span trace."""
+    """One spanned run: its result, critical path and span trace.
+
+    ``tracer`` is ``None`` when the run was decoded from the persistent
+    store: the span stream is not persisted, only the extracted path,
+    so Perfetto export and the offline sanitizer need a live run.
+    """
 
     variant: str   #: protocol variant name ("Base", "GeNIMA", ...)
     result: object     #: the :class:`~repro.runtime.results.RunResult`
     path: object       #: the :class:`~repro.analysis.CriticalPath`
-    tracer: Tracer     #: unbounded tracer holding the span stream
+    tracer: Optional[Tracer]  #: span stream (None for cached runs)
 
 
 def collect_critpath(app, features,
@@ -57,3 +63,23 @@ def collect_critpaths(app_factory, variants: Sequence,
     return [collect_critpath(app_factory(), feats, config=config,
                              check=check)
             for feats in variants]
+
+
+def collect_critpaths_grid(app_name: str, variants: Sequence, cache,
+                           config: Optional[MachineConfig] = None,
+                           check: bool = False,
+                           params: Optional[dict] = None
+                           ) -> List[CritpathRun]:
+    """The variant sweep via the grid executor (see
+    :func:`repro.experiments.profile.collect_profiles_grid`).
+
+    Returned runs carry ``tracer=None`` even on a cache miss — every
+    evaluation path must yield the same object, and the store keeps
+    only path + result.  Callers that need the span stream (Perfetto,
+    ``--check``) must use :func:`collect_critpaths`.
+    """
+    specs = [cache.spec_critpath(app_name, feats, config=config,
+                                 check=check, **(params or {}))
+             for feats in variants]
+    cache.warm(specs)
+    return [cache.cell(spec) for spec in specs]

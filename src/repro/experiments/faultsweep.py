@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..hw import FaultConfig, MachineConfig
+from .cache import ExperimentCache
 from .reporting import format_table
 
 __all__ = ["compute_faultsweep", "render_faultsweep", "DEFAULT_LOSS_RATES"]
@@ -29,20 +30,30 @@ def compute_faultsweep(app_name: str, features,
                        loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
                        seed: int = 1,
                        config: Optional[MachineConfig] = None,
-                       jitter_us: float = 0.0) -> List[Dict]:
-    """Run ``app_name`` under ``features`` across ``loss_rates``."""
-    # Imported here: repro.runtime imports repro.experiments helpers.
-    from ..apps import APP_REGISTRY
-    from ..runtime import run_svm
+                       jitter_us: float = 0.0,
+                       cache: Optional[ExperimentCache] = None) -> List[Dict]:
+    """Run ``app_name`` under ``features`` across ``loss_rates``.
+
+    Each loss rate is an independent grid cell, so a parallel/persistent
+    ``cache`` fans the sweep out and memoizes it; rows come back in
+    ``loss_rates`` order regardless of completion order.
+    """
     base = config or MachineConfig()
-    rows: List[Dict] = []
-    for loss in loss_rates:
+    if cache is None:
+        cache = ExperimentCache(config=base)
+
+    def cfg_for(loss: float) -> MachineConfig:
         if loss == 0.0 and jitter_us == 0.0:
-            cfg = base.scaled(faults=None)
-        else:
-            cfg = base.scaled(faults=FaultConfig(
-                loss=loss, jitter_us=jitter_us, seed=seed))
-        result = run_svm(APP_REGISTRY[app_name](), features, config=cfg)
+            return base.scaled(faults=None)
+        return base.scaled(faults=FaultConfig(
+            loss=loss, jitter_us=jitter_us, seed=seed))
+
+    specs = [cache.spec_svm(app_name, features, config=cfg_for(loss))
+             for loss in loss_rates]
+    cache.warm(specs)
+    rows: List[Dict] = []
+    for loss, spec in zip(loss_rates, specs):
+        result = cache.cell(spec)
         rows.append({
             "loss": loss,
             "time_us": result.time_us,

@@ -37,6 +37,9 @@ LADDER_NAMES = [f.name for f in PROTOCOL_LADDER]
 def compute_figure1(cache: ExperimentCache = CACHE,
                     apps: List[str] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
+    cache.warm([spec for app in apps
+                for spec in (cache.spec_seq(app), cache.spec_origin(app),
+                             cache.spec_svm(app, BASE))])
     out = {}
     for app in apps:
         out[app] = {
@@ -58,6 +61,9 @@ def render_figure1(data: Dict[str, Dict[str, float]]) -> str:
 def compute_figure2(cache: ExperimentCache = CACHE,
                     apps: List[str] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
+    cache.warm([cache.spec_seq(app) for app in apps]
+               + [cache.spec_svm(app, feats)
+                  for app in apps for feats in PROTOCOL_LADDER])
     out = {}
     for app in apps:
         out[app] = {
@@ -82,6 +88,8 @@ def compute_figure3(cache: ExperimentCache = CACHE,
     """Per app, per protocol: execution-time fractions normalized to
     the Base protocol's total (as the paper's stacked bars are)."""
     apps = apps or PAPER_APPS
+    cache.warm([cache.spec_svm(app, feats)
+                for app in apps for feats in PROTOCOL_LADDER])
     out = {}
     for app in apps:
         base_total = cache.svm(app, BASE).mean_breakdown.total
@@ -114,6 +122,10 @@ def render_figure3(data) -> str:
 def compute_figure4(cache: ExperimentCache = CACHE,
                     apps: List[str] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
+    cache.warm([spec for app in apps
+                for spec in (cache.spec_seq(app), cache.spec_origin(app),
+                             cache.spec_svm(app, BASE),
+                             cache.spec_svm(app, GENIMA))])
     out = {}
     for app in apps:
         out[app] = {

@@ -4,7 +4,11 @@ One :func:`collect_profile` call runs an application under one
 protocol variant with a :class:`~repro.obs.PhaseProfiler` attached and
 returns the JSON-ready :class:`~repro.obs.Profile`;
 :func:`collect_profiles` sweeps a list of variants (pass Base first to
-get the paper's Figure-3 normalization).
+get the paper's Figure-3 normalization).  :func:`collect_profiles_grid`
+is the same sweep routed through an :class:`~repro.experiments.cache.
+ExperimentCache`, so variants fan out across the worker pool and land
+in the persistent store; cached profiles decode through
+:meth:`~repro.obs.Profile.from_payload` and render byte-identically.
 """
 
 from __future__ import annotations
@@ -14,8 +18,9 @@ from typing import List, Optional, Sequence
 from ..hw import MachineConfig
 from ..obs import PhaseProfiler, Profile
 from ..runtime import run_svm
+from .cache import ExperimentCache
 
-__all__ = ["collect_profile", "collect_profiles"]
+__all__ = ["collect_profile", "collect_profiles", "collect_profiles_grid"]
 
 
 def collect_profile(app, features, config: Optional[MachineConfig] = None,
@@ -40,3 +45,23 @@ def collect_profiles(app_factory, variants: Sequence,
     return [collect_profile(app_factory(), feats, config=config,
                             slice_us=slice_us, check=check)
             for feats in variants]
+
+
+def collect_profiles_grid(app_name: str, variants: Sequence,
+                          cache: ExperimentCache,
+                          config: Optional[MachineConfig] = None,
+                          slice_us: float = 1000.0,
+                          check: bool = False,
+                          params: Optional[dict] = None) -> List[Profile]:
+    """Profile ``app_name`` under each variant via the grid executor.
+
+    Profiles come back in ``variants`` order whatever the pool's
+    completion order; with a store attached they persist like any
+    other cell.
+    """
+    specs = [cache.spec_profile(app_name, feats, config=config,
+                                slice_us=slice_us, check=check,
+                                **(params or {}))
+             for feats in variants]
+    cache.warm(specs)
+    return [cache.cell(spec) for spec in specs]

@@ -38,9 +38,15 @@ def _improvement(before: float, after: float) -> float:
 
 # ------------------------------------------------------------------- Table 1
 
+LADDER = (BASE, DW, DW_RF, DW_RF_DD, GENIMA)
+
+
 def compute_table1(cache: ExperimentCache = CACHE,
                    apps: List[str] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
+    cache.warm([cache.spec_seq(app) for app in apps]
+               + [cache.spec_svm(app, feats)
+                  for app in apps for feats in LADDER])
     out = {}
     for app in apps:
         seq = cache.seq(app)
@@ -85,6 +91,7 @@ def render_table1(data: Dict[str, Dict[str, float]]) -> str:
 def compute_table2(cache: ExperimentCache = CACHE,
                    apps: List[str] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
+    cache.warm([cache.spec_svm(app, GENIMA) for app in apps])
     out = {}
     for app in apps:
         result = cache.svm(app, GENIMA)
@@ -115,6 +122,8 @@ def compute_table34(cache: ExperimentCache = CACHE,
     """Returns {app: {"small": {"Base": ratios, "GeNIMA": ratios},
     "large": {...}}} with per-stage contention ratios."""
     apps = apps or PAPER_APPS
+    cache.warm([cache.spec_svm(app, feats)
+                for app in apps for feats in (BASE, GENIMA)])
     out = {}
     for app in apps:
         base = cache.svm(app, BASE)
@@ -152,6 +161,10 @@ def render_table34(data: Dict[str, Dict], size_class: str) -> str:
 def compute_table5(cache: ExperimentCache = CACHE,
                    apps: List[str] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
+    cache.warm([spec for app in apps
+                for spec in (cache.spec_seq(app),
+                             cache.spec_svm(app, GENIMA, nodes=8),
+                             cache.spec_origin(app, nprocs=32))])
     out = {}
     for app in apps:
         svm32 = cache.svm(app, GENIMA, nodes=8)

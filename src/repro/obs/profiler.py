@@ -133,6 +133,32 @@ class Profile:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    @classmethod
+    def from_payload(cls, data: dict) -> "Profile":
+        """Inverse of :meth:`to_dict` (used by the run-cache codec).
+
+        Lossless for everything the reports consume, so a profile that
+        round-trips through the persistent store renders byte-identical
+        to one built live by the profiler.
+        """
+        ranks = data.get("ranks", [])
+        return cls(
+            app=data["app"],
+            system=data["system"],
+            nodes=data["nodes"],
+            nprocs=data["nprocs"],
+            slice_us=data["slice_us"],
+            time_us=data["time_us"],
+            wall_us=[r["wall_us"] for r in ranks],
+            buckets=[dict(r["buckets"]) for r in ranks],
+            barrier_protocol_us=[r["barrier_protocol_us"]
+                                 for r in ranks],
+            residual_us=[r["residual_us"] for r in ranks],
+            slices=list(data.get("timeline", {}).get("slices", [])),
+            utilization=list(data.get("utilization", [])),
+            metrics=dict(data.get("metrics", {})),
+        )
+
 
 class PhaseProfiler:
     """Samples bucket and station state at fixed slice boundaries.

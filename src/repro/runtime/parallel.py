@@ -1,0 +1,432 @@
+"""Parallel grid execution over a persistent content-addressed run cache.
+
+The paper's evaluation is a grid — applications x the ``Base -> DW ->
+DW+RF -> DW+RF+DD -> GeNIMA`` ladder (x node counts x fault configs) —
+and every cell is an independent, deterministic simulation.  This
+module moves the repeated work off the critical path twice over:
+
+* :class:`GridExecutor` fans cells out across a ``multiprocessing``
+  worker pool (spawn context, so workers share nothing with the parent
+  but the pickled :class:`CellSpec`), and
+* :class:`ResultStore` persists every evaluated cell under a
+  content-addressed key, so a cell whose inputs have not changed is
+  never recomputed — not in this process, not in the next one.
+
+**Keying.**  A cell's digest is the SHA-256 of the canonical JSON of
+its full description: kind, application name, canonicalized
+constructor params (dicts sorted, tuples/lists normalized),
+:class:`~repro.svm.features.ProtocolFeatures`,
+:class:`~repro.hw.config.MachineConfig` (which embeds the
+:class:`~repro.hw.config.FaultConfig`, seeds included), plus a *code
+fingerprint* — the package version hashed together with every source
+file the simulation's outcome can depend on.  Editing the simulator
+invalidates the whole store automatically; editing only docs or the
+experiment renderers does not.
+
+**Determinism.**  The simulator guarantees byte-identical results per
+cell; the executor adds two rules so the *grid* inherits that
+guarantee: results are merged by digest, never by completion order,
+and every evaluation path (in-process, worker pool, cache hit) yields
+the result through the same JSON encode/decode round trip, so
+``--jobs 1``, ``--jobs N`` and warm-cache reruns are bit-identical.
+
+Store layout (see docs/performance.md)::
+
+    <root>/v<schema>/<digest[:2]>/<digest>.json
+
+with ``<root>`` from the constructor, ``$REPRO_CACHE_DIR``, or
+``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..hw import MachineConfig
+from ..svm import ProtocolFeatures
+from .results import RunResult
+
+__all__ = [
+    "STORE_SCHEMA",
+    "canonical",
+    "canonical_json",
+    "code_fingerprint",
+    "CellSpec",
+    "evaluate_cell",
+    "encode_result",
+    "decode_result",
+    "decode_payload",
+    "ResultStore",
+    "GridExecutor",
+]
+
+#: store schema version: bump on any breaking change to the payload
+#: encoding (participates in every digest, so old entries become
+#: unreachable rather than misread).
+STORE_SCHEMA = 1
+
+#: package subdirectories whose sources determine simulation outcomes;
+#: all of them feed the code fingerprint.  ``experiments``/``cli`` are
+#: deliberately absent: renderers and drivers consume results, they do
+#: not produce them.
+FINGERPRINT_DIRS = ("sim", "hw", "svm", "vmmc", "faults", "apps",
+                    "runtime", "hwdsm", "obs", "analysis")
+
+
+# --------------------------------------------------------------- canonical
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-serializable structure.
+
+    Dataclasses become tagged dicts, dict keys are stringified and
+    sorted, tuples/lists become lists, sets become sorted lists —
+    so two values that compare equal canonicalize identically,
+    regardless of dict insertion order or tuple-vs-list spelling.
+    This is the one true keying path: every cache key in the project
+    must go through here (plain ``tuple(sorted(params.items()))``
+    keying breaks on dict/list-valued params).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__,
+                **{f.name: canonical(getattr(obj, f.name))
+                   for f in dataclasses.fields(obj)}}
+    if isinstance(obj, dict):
+        items = sorted(((str(k), canonical(v)) for k, v in obj.items()),
+                       key=lambda kv: kv[0])
+        return dict(items)
+    if isinstance(obj, (list, tuple)):
+        return [canonical(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((canonical(x) for x in obj),
+                      key=lambda x: json.dumps(x, sort_keys=True))
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} value {obj!r} "
+        f"for cache keying")
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON text for ``obj`` (stable across processes)."""
+    return json.dumps(canonical(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of the package version plus every outcome-relevant source.
+
+    Cached per process: the sources cannot change under a running
+    simulation, and hashing ~80 files on every digest would dominate
+    cache lookups.
+    """
+    import repro
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    digest.update(repro.__version__.encode())
+    for sub in FINGERPRINT_DIRS:
+        for path in sorted((root / sub).rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------- cells
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell: everything needed to (re)produce one result.
+
+    ``kind`` selects the evaluation recipe:
+
+    * ``"svm"``      — :func:`repro.runtime.run_svm` under ``features``
+    * ``"seq"``      — the uniprocessor baseline
+    * ``"origin"``   — the hardware-DSM yardstick (``nprocs``)
+    * ``"profile"``  — a profiled run (``slice_us``), yields a
+      :class:`~repro.obs.Profile`
+    * ``"critpath"`` — a spanned run, yields a
+      :class:`~repro.experiments.CritpathRun` (without its tracer:
+      Perfetto export needs a live run)
+
+    Instances must stay picklable (spawn workers receive them) and
+    fully canonicalizable (digests are derived from them).
+    """
+
+    kind: str
+    app: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    features: Optional[ProtocolFeatures] = None
+    config: Optional[MachineConfig] = None
+    nprocs: Optional[int] = None      # origin cells
+    slice_us: Optional[float] = None  # profile cells
+    check: bool = False               # profile/critpath cells
+
+    def digest(self, fingerprint: Optional[str] = None) -> str:
+        """Content address of this cell under the current sources."""
+        payload = {
+            "schema": STORE_SCHEMA,
+            "fingerprint": fingerprint or code_fingerprint(),
+            "cell": canonical(self),
+        }
+        return hashlib.sha256(
+            canonical_json(payload).encode()).hexdigest()
+
+
+def _make_app(spec: CellSpec):
+    from ..apps import APP_REGISTRY
+    cls = APP_REGISTRY[spec.app]
+    return cls(**spec.params) if spec.params else cls()
+
+
+def evaluate_cell(spec: CellSpec) -> dict:
+    """Evaluate one cell and return its JSON-safe store payload.
+
+    Runs in worker processes (spawn) as well as in-process; everything
+    it returns must survive ``json.dumps``/``loads`` losslessly, and it
+    must not touch the persistent store (the parent is the only
+    writer).
+    """
+    # Imported lazily: this module is part of repro.runtime, and the
+    # app/experiment layers import the runtime at module load.
+    from .runner import run_hwdsm, run_sequential, run_svm
+    app = _make_app(spec)
+    if spec.kind == "svm":
+        result = run_svm(app, spec.features, config=spec.config)
+        return {"kind": "svm", "result": encode_result(result)}
+    if spec.kind == "seq":
+        result = run_sequential(app, config=spec.config)
+        return {"kind": "seq", "result": encode_result(result)}
+    if spec.kind == "origin":
+        from ..hwdsm import HWDSMConfig
+        result = run_hwdsm(app, config=HWDSMConfig(nprocs=spec.nprocs))
+        return {"kind": "origin", "result": encode_result(result)}
+    if spec.kind == "profile":
+        from ..experiments.profile import collect_profile
+        profile = collect_profile(app, spec.features, config=spec.config,
+                                  slice_us=spec.slice_us, check=spec.check)
+        return {"kind": "profile", "profile": profile.to_dict()}
+    if spec.kind == "critpath":
+        from ..experiments.critpath import collect_critpath
+        run = collect_critpath(app, spec.features, config=spec.config,
+                               check=spec.check)
+        return {"kind": "critpath", "variant": run.variant,
+                "path": run.path.to_dict(),
+                "result": encode_result(run.result)}
+    raise ValueError(f"unknown cell kind {spec.kind!r}")
+
+
+# ----------------------------------------------------------- (de)coding
+
+
+def encode_result(result: RunResult) -> dict:
+    """JSON-safe encoding of a :class:`RunResult` (lossless: floats
+    round-trip exactly through JSON's shortest-repr encoding)."""
+    return {
+        "app": result.app,
+        "system": result.system,
+        "nprocs": result.nprocs,
+        "time_us": result.time_us,
+        "wall_us": list(result.wall_us),
+        "buckets": [b.as_dict() for b in result.buckets],
+        "barrier_protocol_us": list(result.barrier_protocol_us),
+        "mprotect_us": result.mprotect_us,
+        "stats": dict(result.stats),
+        "monitor_small": result.monitor_small,
+        "monitor_large": result.monitor_large,
+    }
+
+
+def decode_result(data: dict) -> RunResult:
+    """Inverse of :func:`encode_result`."""
+    from ..sim import TimeBuckets
+    return RunResult(
+        app=data["app"],
+        system=data["system"],
+        nprocs=data["nprocs"],
+        time_us=data["time_us"],
+        wall_us=list(data["wall_us"]),
+        buckets=[TimeBuckets.from_dict(b) for b in data["buckets"]],
+        barrier_protocol_us=list(data["barrier_protocol_us"]),
+        mprotect_us=data["mprotect_us"],
+        stats=dict(data["stats"]),
+        monitor_small=data["monitor_small"],
+        monitor_large=data["monitor_large"],
+    )
+
+
+def decode_payload(payload: dict):
+    """Store payload -> live object (RunResult / Profile / CritpathRun).
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+    payloads; :meth:`GridExecutor.map` treats any of those as a cache
+    miss and recomputes.
+    """
+    kind = payload["kind"]
+    if kind in ("svm", "seq", "origin"):
+        return decode_result(payload["result"])
+    if kind == "profile":
+        from ..obs import Profile
+        return Profile.from_payload(payload["profile"])
+    if kind == "critpath":
+        from ..analysis.critpath import CriticalPath
+        from ..experiments.critpath import CritpathRun
+        return CritpathRun(variant=payload["variant"],
+                           result=decode_result(payload["result"]),
+                           path=CriticalPath.from_dict(payload["path"]),
+                           tracer=None)
+    raise ValueError(f"unknown payload kind {kind!r}")
+
+
+# ------------------------------------------------------------------ store
+
+
+class ResultStore:
+    """Persistent content-addressed store of evaluated cells.
+
+    One JSON file per cell under ``<root>/v<schema>/``; writes are
+    atomic (temp file + ``os.replace``), reads tolerate arbitrary
+    corruption by reporting a miss.  The root resolves, in order:
+    explicit ``root`` argument, ``$REPRO_CACHE_DIR``, then
+    ``~/.cache/repro``.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro")
+        self.root = Path(root)
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{STORE_SCHEMA}"
+
+    def path_for(self, digest: str) -> Path:
+        return self.version_dir / digest[:2] / f"{digest}.json"
+
+    def load(self, digest: str) -> Optional[dict]:
+        """The stored payload envelope for ``digest``, or None.
+
+        Any way an entry can be bad — unreadable, truncated, not JSON,
+        wrong schema, not written by this store — reads as a miss,
+        never an exception: a corrupted cache must only ever cost a
+        recompute.
+        """
+        try:
+            text = self.path_for(digest).read_text()
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(text)
+        except ValueError:
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("schema") != STORE_SCHEMA
+                or not isinstance(envelope.get("payload"), dict)):
+            return None
+        return envelope
+
+    def store(self, digest: str, envelope: dict) -> None:
+        """Atomically persist ``envelope`` under ``digest``."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(envelope, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    def entries(self) -> Iterator[Tuple[str, dict]]:
+        """Iterate ``(digest, envelope)`` over all readable entries,
+        in sorted digest order (for ``wipe``-safe inspection)."""
+        if not self.version_dir.is_dir():
+            return
+        for path in sorted(self.version_dir.glob("*/*.json")):
+            envelope = self.load(path.stem)
+            if envelope is not None:
+                yield path.stem, envelope
+
+    def __len__(self) -> int:
+        if not self.version_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.version_dir.glob("*/*.json"))
+
+    def wipe(self) -> None:
+        """Delete every entry of this schema version."""
+        shutil.rmtree(self.version_dir, ignore_errors=True)
+
+
+# --------------------------------------------------------------- executor
+
+
+class GridExecutor:
+    """Evaluate grid cells concurrently, through the store when given.
+
+    ``map`` is the whole API: specs in, ``{digest: live object}`` out.
+    Deduplication, cache lookup, pool fan-out, persistence and
+    decoding all happen here, and all of it is order-independent:
+    the result dict is keyed by content digest, and every value
+    passes through the same JSON round trip regardless of where it
+    was computed.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 store: Optional[ResultStore] = None):
+        self.jobs = max(1, int(jobs))
+        self.store = store
+
+    def map(self, specs: Iterable[CellSpec]) -> Dict[str, object]:
+        fingerprint = code_fingerprint()
+        order: List[str] = []
+        by_digest: Dict[str, CellSpec] = {}
+        for spec in specs:
+            digest = spec.digest(fingerprint)
+            if digest not in by_digest:
+                by_digest[digest] = spec
+                order.append(digest)
+
+        out: Dict[str, object] = {}
+        misses: List[str] = []
+        for digest in order:
+            envelope = (self.store.load(digest)
+                        if self.store is not None else None)
+            if envelope is not None:
+                try:
+                    out[digest] = decode_payload(envelope["payload"])
+                    continue
+                except (KeyError, TypeError, ValueError):
+                    pass  # corrupted entry: fall through to recompute
+            misses.append(digest)
+
+        if misses:
+            payloads = self._evaluate([by_digest[d] for d in misses])
+            for digest, payload in zip(misses, payloads):
+                if self.store is not None:
+                    self.store.store(digest, {
+                        "schema": STORE_SCHEMA,
+                        "fingerprint": fingerprint,
+                        "cell": canonical(by_digest[digest]),
+                        "payload": payload,
+                    })
+                out[digest] = decode_payload(payload)
+        return out
+
+    def _evaluate(self, specs: List[CellSpec]) -> List[dict]:
+        """Payloads for ``specs``, in input order."""
+        if self.jobs <= 1 or len(specs) <= 1:
+            return [evaluate_cell(spec) for spec in specs]
+        import multiprocessing
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=min(self.jobs, len(specs))) as pool:
+            # pool.map preserves input order, so the zip in map() pairs
+            # digests with their own payloads no matter which worker
+            # finished first.
+            return pool.map(evaluate_cell, specs, chunksize=1)

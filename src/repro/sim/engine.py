@@ -327,23 +327,30 @@ class Simulator:
         Returns the simulation time when execution stopped.  Raises the
         first uncaught process exception, if any process crashed.
         """
+        # Locals hoisted out of the dispatch loop: attribute lookups on
+        # self are a measurable fraction of an event dispatch, and the
+        # hook/crash lists are mutated in place (never rebound), so the
+        # local bindings stay live.
         heap = self._heap
+        heappop = heapq.heappop
+        hooks = self._slice_hooks
+        crashed = self._crashed
         while heap:
-            when, _seq, ev = heap[0]
+            when = heap[0][0]
             if until is not None and when > until:
                 self._now = until
                 break
-            heapq.heappop(heap)
-            if self._slice_hooks:
-                for hook in self._slice_hooks:
+            ev = heappop(heap)[2]
+            if hooks:
+                for hook in hooks:
                     while hook.next_at <= when:
                         self._now = hook.next_at
                         hook.fn(hook.next_at)
                         hook.next_at += hook.width
             self._now = when
             ev._dispatch()
-            if self._crashed:
-                _proc, err = self._crashed[0]
+            if crashed:
+                _proc, err = crashed[0]
                 raise err
         return self._now
 

@@ -135,6 +135,14 @@ class TimeBuckets:
     def as_dict(self) -> Dict[str, float]:
         return {name: getattr(self, name) for name in BUCKETS}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "TimeBuckets":
+        """Inverse of :meth:`as_dict` (used by the run-cache codec)."""
+        buckets = cls()
+        for name in BUCKETS:
+            setattr(buckets, name, float(data.get(name, 0.0)))
+        return buckets
+
     def fractions(self) -> Dict[str, float]:
         tot = self.total
         if tot <= 0:

@@ -70,21 +70,43 @@ class Tracer:
         self._events: deque = deque(maxlen=capacity)
         self._counts: Counter = Counter()
         self._seq = 0
+        #: category -> admission decision memo; ``wants`` is on the
+        #: per-event hot path and the prefix split is pure overhead
+        #: after the first sighting of a category.  Depends only on
+        #: ``categories``, so it survives :meth:`clear`.
+        self._admit: dict = {}
 
     # ------------------------------------------------------------- record
 
     def wants(self, category: str) -> bool:
         if self.categories is None:
             return True
-        return category.split(".", 1)[0] in self.categories
+        admit = self._admit.get(category)
+        if admit is None:
+            admit = category.split(".", 1)[0] in self.categories
+            self._admit[category] = admit
+        return admit
 
     def record(self, t: float, category: str, **fields) -> None:
-        if not self.wants(category):
-            return
+        # Fast path: a no-sink tracer (``categories=()``) or a filtered
+        # category returns before touching counters or allocating a
+        # TraceEvent — the memo makes the rejection one dict probe.
+        categories = self.categories
+        if categories is not None:
+            admit = self._admit.get(category)
+            if admit is None:
+                admit = category.split(".", 1)[0] in categories
+                self._admit[category] = admit
+            if not admit:
+                return
         self._counts[category] += 1
         self._seq += 1
         self._events.append(TraceEvent(t=t, category=category,
                                        fields=fields, seq=self._seq))
+
+    #: hot-path alias: instrumented components may hold a bound
+    #: ``tracer.emit`` reference; it shares ``record``'s fast path.
+    emit = record
 
     # -------------------------------------------------------------- query
 

@@ -236,7 +236,8 @@ class HLRCProtocol:
         sid = sp.begin("page.fault", track, bucket="data", gid=gid) \
             if sp is not None else None
         try:
-            self._trace("fault.read", rank=rank, gid=gid)
+            if self.tracer is not None:
+                self._trace("fault.read", rank=rank, gid=gid)
             yield self.sim.timeout(cfg.page_fault_us)
             # Another process of this node may already be fetching the
             # page.
@@ -253,9 +254,13 @@ class HLRCProtocol:
                 # version this fault is obliged to observe, which the
                 # sanitizer replays against the happens-before graph.
                 needed = table.needed_versions(gid)
-                self._trace("fault.fetch", node=node_id, gid=gid,
-                            needed=tuple(sorted(needed.items())),
-                            clock=self.node_clock[node_id].values)
+                if self.tracer is not None:
+                    # Guarded at the call site: the sorted tuples below
+                    # are per-fault allocations no one consumes on an
+                    # untraced run.
+                    self._trace("fault.fetch", node=node_id, gid=gid,
+                                needed=tuple(sorted(needed.items())),
+                                clock=self.node_clock[node_id].values)
                 home = self._ensure_home(gid, node_id)
                 if home == node_id:
                     yield from self._wait_home_ready(gid, needed,
@@ -269,7 +274,8 @@ class HLRCProtocol:
                 cost = self.mprotect.protect(node_id, [gid])
                 yield self.sim.timeout(cost)
                 table.mark_valid(gid)
-                self._trace("fault.done", node=node_id, gid=gid)
+                if self.tracer is not None:
+                    self._trace("fault.done", node=node_id, gid=gid)
             finally:
                 del self._inflight_fetch[key]
                 done.succeed()
@@ -287,9 +293,11 @@ class HLRCProtocol:
                 (needed, ev, track))
             yield ev
         yield self.sim.timeout(self.config.protocol_op_us)
-        self._trace("fetch.ok", node=self.directory.home_of(gid), gid=gid,
-                    snapshot=tuple(sorted(hp.snapshot().items())),
-                    needed=tuple(sorted(needed.items())))
+        if self.tracer is not None:
+            self._trace("fetch.ok", node=self.directory.home_of(gid),
+                        gid=gid,
+                        snapshot=tuple(sorted(hp.snapshot().items())),
+                        needed=tuple(sorted(needed.items())))
 
     def _fetch_base(self, node_id: int, gid: int, home: int,
                     needed: Dict[int, int],
@@ -311,9 +319,10 @@ class HLRCProtocol:
                                   kind="page_req", on_delivered=at_home)
         snapshot = yield done
         yield self.sim.timeout(self.config.notify_us)
-        self._trace("fetch.ok", node=node_id, gid=gid,
-                    snapshot=tuple(sorted((snapshot or {}).items())),
-                    needed=tuple(sorted(needed.items())))
+        if self.tracer is not None:
+            self._trace("fetch.ok", node=node_id, gid=gid,
+                        snapshot=tuple(sorted((snapshot or {}).items())),
+                        needed=tuple(sorted(needed.items())))
 
     def _home_page_handler(self, gid: int, home: int,
                            needed: Dict[int, int], requester: int, done,
@@ -389,9 +398,11 @@ class HLRCProtocol:
                 node_id, home, cfg.page_size + 64,
                 on_served=hp.snapshot, track=track)
             if HomePage.snapshot_satisfies(reply.payload, needed):
-                self._trace("fetch.ok", node=node_id, gid=gid,
-                            snapshot=tuple(sorted(reply.payload.items())),
-                            needed=tuple(sorted(needed.items())))
+                if self.tracer is not None:
+                    self._trace(
+                        "fetch.ok", node=node_id, gid=gid,
+                        snapshot=tuple(sorted(reply.payload.items())),
+                        needed=tuple(sorted(needed.items())))
                 return
             self.fetch_retries += 1
             retries += 1

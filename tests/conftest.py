@@ -1,0 +1,14 @@
+"""Shared fixtures.
+
+Every test gets an isolated persistent run cache: CLI commands (and
+any ResultStore built without an explicit root) must never read or
+write the developer's real ``~/.cache/repro`` from the suite.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(tmp_path_factory, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path_factory.mktemp("run-cache")))

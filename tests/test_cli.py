@@ -38,6 +38,38 @@ def test_ladder_command(capsys):
         assert name in out
 
 
+def test_ladder_warm_cache_is_byte_identical(capsys, tmp_path):
+    cache_dir = str(tmp_path / "explicit")
+    assert main(["ladder", "--app", "Water-spatial",
+                 "--cache-dir", cache_dir]) == 0
+    cold = capsys.readouterr().out
+    assert main(["ladder", "--app", "Water-spatial",
+                 "--cache-dir", cache_dir]) == 0
+    assert capsys.readouterr().out == cold
+    assert main(["cache", "--cache-dir", cache_dir]) == 0
+    assert "entries    : 6" in capsys.readouterr().out
+
+
+def test_no_cache_writes_nothing(capsys, tmp_path):
+    cache_dir = str(tmp_path / "untouched")
+    assert main(["ladder", "--app", "Water-spatial",
+                 "--cache-dir", cache_dir, "--no-cache"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "--cache-dir", cache_dir]) == 0
+    assert "entries    : 0" in capsys.readouterr().out
+
+
+def test_cache_wipe(capsys, tmp_path):
+    cache_dir = str(tmp_path / "wiped")
+    assert main(["faultsweep", "--app", "Water-spatial", "--loss", "0",
+                 "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["cache", "--cache-dir", cache_dir, "--wipe"]) == 0
+    assert "wiped 1 entry" in capsys.readouterr().out
+    assert main(["cache", "--cache-dir", cache_dir]) == 0
+    assert "entries    : 0" in capsys.readouterr().out
+
+
 def test_calibrate_command(capsys):
     assert main(["calibrate"]) == 0
     out = capsys.readouterr().out

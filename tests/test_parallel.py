@@ -1,0 +1,227 @@
+"""Tests for the parallel grid executor and the persistent run store.
+
+Covers the determinism contract (jobs=1 == jobs=N == cache hit),
+content-addressed keying (including the dict/list-valued-params
+regression the old ``tuple(sorted(params.items()))`` keying broke on),
+fingerprint invalidation and corrupted-entry recovery.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentCache
+from repro.hw import FaultConfig, MachineConfig
+from repro.runtime import parallel
+from repro.runtime.parallel import (CellSpec, GridExecutor, ResultStore,
+                                    STORE_SCHEMA, canonical, canonical_json,
+                                    decode_payload, decode_result,
+                                    encode_result, evaluate_cell)
+from repro.svm import BASE, GENIMA
+
+APP = "Water-spatial"
+
+
+def svm_spec(features=GENIMA, **params) -> CellSpec:
+    return CellSpec(kind="svm", app=APP, params=params, features=features,
+                    config=MachineConfig())
+
+
+# --------------------------------------------------------------- canonical
+
+def test_canonical_sorts_dict_keys():
+    assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2,
+                                                               "b": 1})
+
+
+def test_canonical_normalizes_sequences_and_sets():
+    assert canonical((1, 2, 3)) == canonical([1, 2, 3])
+    assert canonical({3, 1, 2}) == [1, 2, 3]
+
+
+def test_canonical_tags_dataclasses():
+    out = canonical(FaultConfig(loss=0.01))
+    assert out["__dataclass__"] == "FaultConfig"
+    assert out["loss"] == 0.01
+
+
+def test_canonical_rejects_unserializable():
+    with pytest.raises(TypeError):
+        canonical(object())
+
+
+# ------------------------------------------------------------------ digests
+
+def test_digest_stable_across_param_dict_order():
+    a = svm_spec(tiles={"x": 4, "y": 8}, order=[1, 2])
+    b = svm_spec(order=[1, 2], tiles={"y": 8, "x": 4})
+    assert a.digest("f" * 16) == b.digest("f" * 16)
+
+
+def test_digest_dict_valued_params_regression():
+    # The old cache keyed on tuple(sorted(params.items())), which
+    # raises on dict-valued params; digests must just work.
+    spec = svm_spec(weights={"b": 2.0, "a": 1.0})
+    assert len(spec.digest("f" * 16)) == 64
+
+
+def test_digest_distinguishes_inputs():
+    fp = "f" * 16
+    base = svm_spec()
+    assert base.digest(fp) != svm_spec(features=BASE).digest(fp)
+    assert base.digest(fp) != svm_spec(extra=1).digest(fp)
+    assert base.digest(fp) != base.digest("0" * 16)
+    faulty = CellSpec(kind="svm", app=APP, features=GENIMA,
+                      config=MachineConfig(faults=FaultConfig(loss=0.01)))
+    assert base.digest(fp) != faulty.digest(fp)
+
+
+# ------------------------------------------------------------------- codecs
+
+@pytest.fixture(scope="module")
+def svm_payload():
+    return evaluate_cell(svm_spec())
+
+
+def test_result_roundtrips_through_json(svm_payload):
+    wire = json.loads(json.dumps(svm_payload))
+    result = decode_result(wire["result"])
+    assert encode_result(result) == svm_payload["result"]
+    assert result.app == APP
+    assert result.time_us > 0
+    assert len(result.buckets) == result.nprocs
+
+
+def test_profile_payload_roundtrips():
+    spec = CellSpec(kind="profile", app=APP, features=GENIMA,
+                    config=MachineConfig(), slice_us=2000.0)
+    payload = json.loads(json.dumps(evaluate_cell(spec)))
+    profile = decode_payload(payload)
+    assert profile.to_dict() == payload["profile"]
+    assert profile.accounting_ok
+
+
+def test_critpath_payload_roundtrips():
+    spec = CellSpec(kind="critpath", app=APP, features=GENIMA,
+                    config=MachineConfig())
+    payload = json.loads(json.dumps(evaluate_cell(spec)))
+    run = decode_payload(payload)
+    assert run.tracer is None
+    assert run.variant == "GeNIMA"
+    assert run.path.to_dict() == payload["path"]
+
+
+# -------------------------------------------------------------------- store
+
+def test_store_roundtrip_and_len(tmp_path):
+    store = ResultStore(tmp_path)
+    envelope = {"schema": STORE_SCHEMA, "payload": {"kind": "x"}}
+    store.store("ab" * 32, envelope)
+    assert store.load("ab" * 32) == envelope
+    assert len(store) == 1
+    assert [d for d, _ in store.entries()] == ["ab" * 32]
+    store.wipe()
+    assert store.load("ab" * 32) is None
+    assert len(store) == 0
+
+
+def test_store_env_var_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+    assert ResultStore().root == tmp_path / "env"
+    assert ResultStore(tmp_path / "arg").root == tmp_path / "arg"
+
+
+@pytest.mark.parametrize("text", [
+    "", "not json", "[1,2]", '{"schema": 999, "payload": {}}',
+    '{"schema": 1, "payload": "nope"}'])
+def test_store_treats_corruption_as_miss(tmp_path, text):
+    store = ResultStore(tmp_path)
+    digest = "cd" * 32
+    path = store.path_for(digest)
+    path.parent.mkdir(parents=True)
+    path.write_text(text)
+    assert store.load(digest) is None
+
+
+# ----------------------------------------------------------------- executor
+
+def test_executor_persists_and_reloads(tmp_path, monkeypatch, svm_payload):
+    store = ResultStore(tmp_path)
+    spec = svm_spec()
+    digest = spec.digest()
+    first = GridExecutor(jobs=1, store=store).map([spec])
+    assert len(store) == 1
+    # A second executor must serve the hit without evaluating anything.
+    def boom(_spec):
+        raise AssertionError("cache hit must not recompute")
+    monkeypatch.setattr(parallel, "evaluate_cell", boom)
+    reloaded = GridExecutor(jobs=1, store=store).map([spec])
+    assert encode_result(reloaded[digest]) == encode_result(first[digest])
+    assert encode_result(first[digest]) == svm_payload["result"]
+
+
+def test_executor_fingerprint_invalidates(tmp_path, monkeypatch):
+    store = ResultStore(tmp_path)
+    spec = svm_spec()
+    GridExecutor(jobs=1, store=store).map([spec])
+    assert len(store) == 1
+    monkeypatch.setattr(parallel, "code_fingerprint", lambda: "0" * 16)
+    GridExecutor(jobs=1, store=store).map([spec])
+    assert len(store) == 2  # new digest, old entry untouched
+
+
+def test_executor_recovers_from_corrupted_entry(tmp_path, svm_payload):
+    store = ResultStore(tmp_path)
+    spec = svm_spec()
+    digest = spec.digest()
+    GridExecutor(jobs=1, store=store).map([spec])
+    store.path_for(digest).write_text('{"schema": 1, "payload": {}}')
+    result = GridExecutor(jobs=1, store=store).map([spec])[digest]
+    assert encode_result(result) == svm_payload["result"]
+    # and the recomputed entry was re-persisted, healed
+    assert store.load(digest)["payload"]["result"] == svm_payload["result"]
+
+
+def test_executor_dedupes_equal_specs(tmp_path):
+    store = ResultStore(tmp_path)
+    out = GridExecutor(jobs=1, store=store).map([svm_spec(), svm_spec()])
+    assert len(out) == 1
+    assert len(store) == 1
+
+
+def test_pool_matches_serial(svm_payload):
+    """jobs=2 through a real spawn pool == jobs=1 in-process, bytewise."""
+    specs = [svm_spec(), svm_spec(features=BASE)]
+    serial = GridExecutor(jobs=1).map(specs)
+    pooled = GridExecutor(jobs=2).map(specs)
+    assert serial.keys() == pooled.keys()
+    for digest in serial:
+        assert (encode_result(serial[digest])
+                == encode_result(pooled[digest]))
+    assert encode_result(serial[specs[0].digest()]) == svm_payload["result"]
+
+
+# ----------------------------------------------------- ExperimentCache glue
+
+def test_cache_warm_is_idempotent(tmp_path):
+    cache = ExperimentCache(store=ResultStore(tmp_path))
+    specs = [cache.spec_svm(APP, GENIMA), cache.spec_seq(APP)]
+    cache.warm(specs)
+    first = cache.cell(specs[0])
+    cache.warm(specs)
+    assert cache.cell(specs[0]) is first  # in-memory identity preserved
+
+
+def test_cache_spec_params_allow_dicts():
+    cache = ExperimentCache()
+    a = cache.spec_svm(APP, GENIMA, grid={"ny": 2, "nx": 1})
+    b = cache.spec_svm(APP, GENIMA, grid={"nx": 1, "ny": 2})
+    assert a.digest() == b.digest()
+
+
+def test_caches_share_store_across_instances(tmp_path):
+    store = ResultStore(tmp_path)
+    first = ExperimentCache(store=store).svm(APP, GENIMA)
+    second = ExperimentCache(store=store).svm(APP, GENIMA)
+    assert first is not second
+    assert encode_result(first) == encode_result(second)

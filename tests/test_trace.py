@@ -41,6 +41,33 @@ def test_category_filter_by_prefix():
     assert len(tr.events) == 1
 
 
+def test_record_fast_path_rejects_without_side_effects():
+    tr = Tracer(categories=())
+    for i in range(100):
+        tr.record(float(i), "fetch.ok", gid=i)
+    assert tr.events == []
+    assert tr.counts() == {}
+    assert tr._seq == 0  # rejected events never touch the sequence
+
+
+def test_admission_memo_survives_clear_and_stays_correct():
+    tr = Tracer(categories={"lock"})
+    tr.record(1.0, "lock.acquire")
+    tr.record(2.0, "fetch.retry")
+    assert tr._admit == {"lock.acquire": True, "fetch.retry": False}
+    tr.clear()
+    tr.record(3.0, "lock.acquire")
+    assert tr.count("lock.acquire") == 1
+    assert tr.wants("lock.acquire") and not tr.wants("fetch.retry")
+
+
+def test_emit_is_record():
+    assert Tracer.emit is Tracer.record
+    tr = Tracer()
+    tr.emit(1.0, "x", n=1)
+    assert tr.count("x") == 1
+
+
 def test_capacity_bounds_events_not_counts():
     tr = Tracer(capacity=3)
     for i in range(10):
