@@ -15,7 +15,7 @@ def main(filters):
              if not filters or any(f.lower() in n.lower() for f in filters)]
     for name in names:
         cls = APP_REGISTRY[name]
-        t0 = time.time()
+        t0 = time.time()  # repro: noqa[wall-clock] — real-time progress display
         seq = run_sequential(cls())
         hw = run_hwdsm(cls())
         line = [f"{name:16s} seq={seq.time_us/1000:8.1f}ms "
@@ -30,7 +30,7 @@ def main(filters):
                 f"lck={b.lock/1000:7.1f} a/r={b.acqrel/1000:6.1f} "
                 f"bar={b.barrier/1000:7.1f} intr={r.stats['interrupts']:6d} "
                 f"msg={r.stats['messages']:6d} retry={r.stats['fetch_retries']:4d}")
-        print(line[0], f"[{time.time()-t0:.1f}s]")
+        print(line[0], f"[{time.time()-t0:.1f}s]")  # repro: noqa[wall-clock] — real-time progress display
         print("\n".join(rows))
 
 

@@ -9,6 +9,11 @@ Three cooperating passes that keep the simulator honest:
   asserts at its own commit points (``--check`` / ``repro check``).
 * :mod:`repro.analysis.lint` — static AST lint enforcing the
   determinism rules the other two passes depend on (``repro lint``).
+* :mod:`repro.analysis.static` — whole-program analysis over the
+  package import graph: protocol send/handler agreement (PROTO),
+  trace-schema conformance (TRC), cache-fingerprint coverage (FPR)
+  and shared-state mutation (RACE), with SARIF export and a
+  committed finding baseline (``repro lint --sarif``).
 * :mod:`repro.analysis.critpath` — critical-path extraction over the
   causal span records of a spanned run (``repro critpath``), with its
   own sanitizer pass reconciling path length against wall time.
@@ -24,6 +29,9 @@ from .lint import (RULES, LintViolation, Rule, default_target, lint_paths,
                    lint_source, register_rule)
 from .sanitizer import (SANITIZER_CHECKS, Finding, Sanitizer,
                         SanitizerCheck, register_check, sanitize_run)
+from .static import (PROJECT_RULES, AnalysisReport, Baseline,
+                     ProjectModel, ProjectRule, analyze_paths,
+                     analyze_project, register_project_rule, to_sarif)
 
 __all__ = [
     "CriticalPath", "PathStep", "extract_critical_path",
@@ -33,6 +41,9 @@ __all__ = [
     "InvariantChecker", "InvariantViolation", "LEGAL_TRANSITIONS",
     "LintViolation", "Rule", "RULES", "register_rule",
     "lint_source", "lint_paths", "default_target",
+    "AnalysisReport", "Baseline", "ProjectModel", "ProjectRule",
+    "PROJECT_RULES", "register_project_rule",
+    "analyze_project", "analyze_paths", "to_sarif",
     "Finding", "Sanitizer", "SanitizerCheck", "SANITIZER_CHECKS",
     "register_check", "sanitize_run",
 ]

@@ -39,17 +39,28 @@ __all__ = ["LintViolation", "Rule", "RULES", "register_rule",
 
 @dataclass(frozen=True)
 class LintViolation:
-    """One rule hit at one source location."""
+    """One rule hit at one source location.
+
+    ``symbol`` names the innermost enclosing function/class (dotted
+    qualname, empty at module level).  The baseline keys findings by
+    ``(rule, path, symbol)`` so they survive line-number drift.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    symbol: str = ""
 
     def __str__(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: "
                 f"[{self.rule}] {self.message}")
+
+    @property
+    def family(self) -> str:
+        """The rule family: ``PROTO002 -> PROTO``, local names as-is."""
+        return self.rule.rstrip("0123456789")
 
 
 class Rule:
@@ -321,12 +332,17 @@ def lint_source(source: str, path: str = "<string>",
 
 
 def iter_py_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
+    """``*.py`` files under ``paths``; unknown paths are usage errors."""
     for p in paths:
         p = Path(p)
         if p.is_dir():
             yield from sorted(p.rglob("*.py"))
-        elif p.suffix == ".py":
-            yield p
+        elif p.is_file():
+            if p.suffix == ".py":
+                yield p
+        else:
+            raise FileNotFoundError(
+                f"no such file or directory: {p}")
 
 
 def lint_paths(paths: Iterable[Union[str, Path]],

@@ -1,0 +1,127 @@
+"""Finding baseline: accepted findings the CI gate does not fail on.
+
+The baseline file (``lint-baseline.json``, committed at the repo
+root) records findings that are *intentional* — each with a one-line
+justification — keyed by ``(rule, path, symbol)`` so entries survive
+line-number drift.  ``repro lint`` fails only on findings NOT in the
+baseline; ``--update-baseline`` rewrites the file from the current
+findings, preserving justifications for keys that persist and
+expiring entries whose finding disappeared.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..lint import LintViolation
+
+__all__ = ["Baseline", "BaselineEntry", "finding_key"]
+
+_FORMAT = "repro-lint-baseline/1"
+
+
+def finding_key(v: LintViolation, root: Path) -> Tuple[str, str, str]:
+    """Line-tolerant identity of a finding: rule, repo-relative
+    path, innermost enclosing symbol."""
+    path = Path(v.path)
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return (v.rule, rel, v.symbol)
+
+
+@dataclass
+class BaselineEntry:
+    """One accepted finding key."""
+
+    rule: str
+    path: str
+    symbol: str
+    count: int = 1
+    justification: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+
+@dataclass
+class Baseline:
+    """The set of accepted findings."""
+
+    entries: Dict[Tuple[str, str, str], BaselineEntry] = field(
+        default_factory=dict)
+
+    # ----------------------------------------------------------------- io
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("format") != _FORMAT:
+            raise ValueError(
+                f"{path}: unknown baseline format "
+                f"{data.get('format')!r} (expected {_FORMAT!r})")
+        baseline = cls()
+        for raw in data.get("findings", []):
+            entry = BaselineEntry(
+                rule=raw["rule"], path=raw["path"],
+                symbol=raw.get("symbol", ""),
+                count=int(raw.get("count", 1)),
+                justification=raw.get("justification", ""))
+            baseline.entries[entry.key()] = entry
+        return baseline
+
+    def dump(self, path: Path) -> None:
+        findings = [
+            {"rule": e.rule, "path": e.path, "symbol": e.symbol,
+             "count": e.count, "justification": e.justification}
+            for e in sorted(self.entries.values(),
+                            key=lambda e: e.key())]
+        payload = {"format": _FORMAT, "findings": findings}
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    # -------------------------------------------------------------- logic
+
+    def split(self, violations: List[LintViolation], root: Path
+              ) -> Tuple[List[LintViolation], List[LintViolation]]:
+        """``(new, baselined)``: findings not covered by the baseline
+        and findings it accepts.  A key with count N covers at most N
+        findings; extras above the recorded count are new."""
+        budget = {key: e.count for key, e in self.entries.items()}
+        new: List[LintViolation] = []
+        accepted: List[LintViolation] = []
+        for v in violations:
+            key = finding_key(v, root)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                accepted.append(v)
+            else:
+                new.append(v)
+        return new, accepted
+
+    def updated(self, violations: List[LintViolation],
+                root: Path) -> "Baseline":
+        """A fresh baseline covering exactly the current findings,
+        keeping justifications of surviving keys and expiring stale
+        entries."""
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for v in violations:
+            key = finding_key(v, root)
+            counts[key] = counts.get(key, 0) + 1
+        out = Baseline()
+        for key, count in counts.items():
+            old = self.entries.get(key)
+            out.entries[key] = BaselineEntry(
+                rule=key[0], path=key[1], symbol=key[2], count=count,
+                justification=old.justification if old else "TODO")
+        return out
+
+    def stale_keys(self, violations: List[LintViolation],
+                   root: Path) -> List[Tuple[str, str, str]]:
+        """Entries whose finding no longer occurs."""
+        live = {finding_key(v, root) for v in violations}
+        return sorted(k for k in self.entries if k not in live)

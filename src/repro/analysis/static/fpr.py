@@ -1,0 +1,102 @@
+"""FPR: cache-fingerprint coverage of the import graph.
+
+``runtime/parallel.py`` memoises experiment cells under a content
+digest that includes ``code_fingerprint()`` — a hash of the source
+files in ``FINGERPRINT_DIRS`` (plus ``FINGERPRINT_MODULES``).  Any
+module that can influence a cell's result but is *not* hashed makes
+the cache silently stale: edit the module, rerun, get yesterday's
+numbers.  The reachable set is computed from the import graph,
+starting at the modules that evaluate cells (the ones that define or
+assign ``FINGERPRINT_DIRS`` — they are the cache entry points), and
+closed over *all* imports including function-level lazy ones, because
+``evaluate_cell`` imports its workloads lazily.
+
+* **FPR001** — a module is reachable from the cache entry point but
+  covered by neither ``FINGERPRINT_DIRS`` nor ``FINGERPRINT_MODULES``.
+* **FPR002** — a declared fingerprint dir or module does not exist on
+  disk: the declaration is dead and the hash is narrower than the
+  author believes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..lint import LintViolation
+from .project import ModuleInfo, ProjectModel
+from .registry import ProjectRule, register_project_rule
+
+__all__ = ["FprRule"]
+
+
+def _fingerprint_decl(project: ProjectModel
+                      ) -> Optional[Tuple[ModuleInfo, Tuple[str, ...],
+                                          Tuple[str, ...]]]:
+    """The module declaring ``FINGERPRINT_DIRS`` plus both declared
+    tuples (dirs, extra modules)."""
+    for info in project.modules.values():
+        dirs = info.tuple_constants.get("FINGERPRINT_DIRS")
+        if dirs is not None:
+            modules = info.tuple_constants.get("FINGERPRINT_MODULES", ())
+            return info, dirs, modules
+    return None
+
+
+def _covered(info: ModuleInfo, dirs: Tuple[str, ...],
+             modules: Tuple[str, ...]) -> bool:
+    rel = info.rel
+    top = rel.split("/", 1)[0]
+    if "/" in rel and top in dirs:
+        return True
+    return rel in modules
+
+
+@register_project_rule
+class FprRule(ProjectRule):
+    """Everything the run cache can execute must be fingerprinted."""
+
+    name = "fpr"
+    family = "FPR"
+    description = ("modules reachable from the run cache are covered "
+                   "by the code fingerprint")
+
+    def check(self, project: ProjectModel) -> Iterator[LintViolation]:
+        decl = _fingerprint_decl(project)
+        if decl is None:
+            return
+        anchor, dirs, modules = decl
+
+        # FPR002: dead declarations.
+        root = project.root
+        for d in dirs:
+            if not (root / d).is_dir():
+                yield self.hit(
+                    anchor, anchor.tree.body[0] if anchor.tree.body
+                    else None, "FPR002",
+                    f"FINGERPRINT_DIRS names {d!r} but "
+                    f"{(root / d).as_posix()} does not exist; the "
+                    f"fingerprint is narrower than declared")
+        for m in modules:
+            if not (root / m).is_file():
+                yield self.hit(
+                    anchor, anchor.tree.body[0] if anchor.tree.body
+                    else None, "FPR002",
+                    f"FINGERPRINT_MODULES names {m!r} but "
+                    f"{(root / m).as_posix()} does not exist; the "
+                    f"fingerprint is narrower than declared")
+
+        # FPR001: reachable but unhashed modules.
+        reachable = project.reachable_from(anchor.name)
+        missing: List[ModuleInfo] = []
+        for name in sorted(reachable):
+            info = project.modules[name]
+            if not _covered(info, dirs, modules):
+                missing.append(info)
+        for info in missing:
+            yield self.hit(
+                info, info.tree.body[0] if info.tree.body else None,
+                "FPR001",
+                f"module {info.name} is reachable from the run cache "
+                f"(via {anchor.name}) but not covered by "
+                f"FINGERPRINT_DIRS/FINGERPRINT_MODULES: editing it "
+                f"will NOT invalidate cached results")

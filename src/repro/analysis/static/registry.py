@@ -1,0 +1,59 @@
+"""Pluggable registry of cross-module (whole-program) rule families.
+
+Layered on the single-file :class:`repro.analysis.lint.Rule` API: a
+:class:`ProjectRule` sees the whole :class:`ProjectModel` instead of
+one AST, and emits :class:`LintViolation` s whose ``rule`` is a family
+id plus a number (``PROTO001``), so inline suppressions can name
+either the exact rule (``# repro: noqa[PROTO001]``) or the family
+(``# repro: noqa[PROTO]``).
+
+Register with::
+
+    @register_project_rule
+    class MyRule(ProjectRule):
+        name = "mine"
+        ...
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Type
+
+from ..lint import LintViolation
+from .project import ModuleInfo, ProjectModel
+
+__all__ = ["ProjectRule", "PROJECT_RULES", "register_project_rule"]
+
+
+class ProjectRule:
+    """One whole-program pass over a loaded project model."""
+
+    #: registry key and ``--rule`` filter name (lowercase family).
+    name = "abstract"
+    #: family prefix of emitted rule ids ("PROTO" -> PROTO001...).
+    family = "ABSTRACT"
+    description = ""
+
+    def check(self, project: ProjectModel) -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+    def hit(self, info: ModuleInfo, node: Optional[ast.AST],
+            rule_id: str, message: str) -> LintViolation:
+        line = getattr(node, "lineno", 0) if node is not None else 0
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return LintViolation(
+            path=str(info.path), line=line, col=col, rule=rule_id,
+            message=message, symbol=info.symbol_at(line))
+
+
+#: family name -> rule class; the CLI and driver pick these up.
+PROJECT_RULES: Dict[str, Type[ProjectRule]] = {}
+
+
+def register_project_rule(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a whole-program rule family."""
+    if cls.name in PROJECT_RULES:
+        raise ValueError(f"duplicate project rule {cls.name!r}")
+    PROJECT_RULES[cls.name] = cls
+    return cls

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 export of lint findings.
+
+Minimal but structurally valid: one run, one tool driver listing
+every rule that fired, one result per finding with a physical
+location.  Baselined findings are carried with an ``external``
+suppression so viewers show them greyed out instead of hiding that
+they exist.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
+
+from ..lint import LintViolation
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rel(path: str, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(
+            root.resolve()).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def _result(v: LintViolation, root: Path,
+            suppressed: bool) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": v.rule,
+        "level": "error",
+        "message": {"text": v.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": _rel(v.path, root),
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": max(v.line, 1),
+                    "startColumn": max(v.col + 1, 1),
+                },
+            },
+            "logicalLocations": [{
+                "fullyQualifiedName": v.symbol,
+            }] if v.symbol else [],
+        }],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def to_sarif(new: Iterable[LintViolation],
+             baselined: Iterable[LintViolation],
+             root: Path,
+             rule_descriptions: Dict[str, str]) -> Dict[str, Any]:
+    """Build the SARIF log object for one lint run."""
+    new = list(new)
+    baselined = list(baselined)
+    fired = sorted({v.rule for v in [*new, *baselined]})
+    rules: List[Dict[str, Any]] = [
+        {"id": rule_id,
+         "shortDescription": {
+             "text": rule_descriptions.get(rule_id, rule_id)}}
+        for rule_id in fired]
+    results = ([_result(v, root, suppressed=False) for v in new]
+               + [_result(v, root, suppressed=True)
+                  for v in baselined])
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": root.resolve().as_uri() + "/"},
+            },
+            "results": results,
+        }],
+    }

@@ -332,27 +332,118 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    """Static determinism lint over the simulator sources."""
-    from .analysis import RULES, default_target, lint_paths
+    """Static lint: local determinism rules plus whole-program passes.
+
+    Exit codes: 0 clean (modulo baseline), 1 new findings, 2 usage or
+    parse error.
+    """
+    import json
+    from pathlib import Path
+
+    from .analysis import RULES, default_target
+    from .analysis.static import (PROJECT_RULES, Baseline, analyze_paths,
+                                  analyze_project, describe_rule, to_sarif)
+
     if args.list_rules:
+        print("local rules (single-file):")
         for name in sorted(RULES):
             print(f"  {name:18s} {RULES[name].description}")
+        print("cross-module families (whole-program):")
+        for name in sorted(PROJECT_RULES):
+            cls = PROJECT_RULES[name]
+            print(f"  {name:18s} [{cls.family}] {cls.description}")
         return 0
-    paths = args.path or [str(default_target())]
+
+    rules = args.rule or None
     try:
-        violations = lint_paths(paths, rules=args.rule or None)
+        if args.path and args.package_root:
+            print("error: paths and --package-root are mutually "
+                  "exclusive")
+            return 2
+        if args.path:
+            # loose paths (tests/, scripts/): local rules only — the
+            # cross-module families need a package root.
+            root = Path.cwd()
+            report = analyze_paths([Path(p) for p in args.path],
+                                   rules=rules)
+            baseline_applies = False
+        else:
+            root = (Path(args.package_root) if args.package_root
+                    else default_target())
+            if not root.is_dir():
+                print(f"error: package root {root} is not a directory")
+                return 2
+            report = analyze_project(root, package=root.name,
+                                     rules=rules,
+                                     local_only=args.local_only)
+            # the default baseline file only describes the default
+            # target; for an explicit root it must be named explicitly.
+            baseline_applies = (args.package_root is None
+                                or args.baseline is not None)
     except ValueError as err:
         print(f"error: {err} (see --list-rules)")
         return 2
     except OSError as err:
         print(f"error: {err}")
         return 2
-    for violation in violations:
+
+    if report.syntax_errors:
+        for v in report.syntax_errors:
+            print(f"{v.path}:{v.line}:{v.col}: parse error: {v.message}")
+        print(f"\n{len(report.syntax_errors)} file(s) failed to parse")
+        return 2
+
+    baseline = Baseline()
+    baseline_path = Path(args.baseline) if args.baseline \
+        else Path("lint-baseline.json")
+    if baseline_applies and not args.no_baseline:
+        if baseline_path.is_file():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (ValueError, KeyError, json.JSONDecodeError) as err:
+                print(f"error: bad baseline: {err}")
+                return 2
+        elif args.baseline and not args.update_baseline:
+            print(f"error: baseline {baseline_path} not found")
+            return 2
+
+    if args.update_baseline:
+        if not baseline_applies:
+            print("error: --update-baseline applies to the default "
+                  "whole-program run, not to explicit paths")
+            return 2
+        stale = baseline.stale_keys(report.violations, root)
+        updated = baseline.updated(report.violations, root)
+        updated.dump(baseline_path)
+        print(f"baseline {baseline_path}: {len(updated.entries)} "
+              f"entr{'y' if len(updated.entries) == 1 else 'ies'}, "
+              f"{len(stale)} expired")
+        for key in stale:
+            print(f"  expired: [{key[0]}] {key[1]} {key[2]}".rstrip())
+        return 0
+
+    new, accepted = baseline.split(report.violations, root)
+
+    if args.sarif:
+        descriptions = {v.rule: describe_rule(v.rule)
+                        for v in [*new, *accepted]}
+        sarif = to_sarif(new, accepted, root, descriptions)
+        Path(args.sarif).write_text(json.dumps(sarif, indent=2) + "\n",
+                                    encoding="utf-8")
+        print(f"sarif report written to {args.sarif}")
+
+    for violation in new:
         print(violation)
-    if violations:
-        print(f"\n{len(violations)} lint violation(s)")
+    if new:
+        suffix = (f" ({len(accepted)} baselined)" if accepted else "")
+        print(f"\n{len(new)} lint violation(s){suffix}")
         return 1
-    print(f"lint clean ({len(RULES)} rules)")
+    nrules = len(RULES)
+    if not args.path and not args.local_only:
+        nrules += len(PROJECT_RULES)
+    suffix = (f", {len(accepted)} baselined finding(s)"
+              if accepted else "")
+    print(f"lint clean ({nrules} rules{suffix})")
     return 0
 
 
@@ -538,13 +629,31 @@ def build_parser() -> argparse.ArgumentParser:
     check.set_defaults(fn=_cmd_check)
 
     lint = sub.add_parser(
-        "lint", help="static determinism lint over the sources")
+        "lint", help="static lint: determinism rules + whole-program "
+                     "protocol/trace/cache/race passes")
     lint.add_argument("path", nargs="*",
-                      help="files/directories (default: the repro package)")
+                      help="files/directories to lint with local rules "
+                           "only (default: whole-program analysis of "
+                           "the repro package)")
     lint.add_argument("--rule", action="append",
-                      help="run only the named rule(s)")
+                      help="run only the named rule(s) / famil(ies)")
     lint.add_argument("--list-rules", action="store_true",
                       help="list available rules and exit")
+    lint.add_argument("--local-only", action="store_true",
+                      help="skip the cross-module rule families")
+    lint.add_argument("--package-root", metavar="DIR",
+                      help="run the whole-program analysis on this "
+                           "package directory instead of repro")
+    lint.add_argument("--sarif", metavar="FILE",
+                      help="write a SARIF 2.1.0 report to FILE")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="baseline of accepted findings (default: "
+                           "lint-baseline.json if present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from current findings "
+                           "(keeps justifications, expires stale keys)")
     lint.set_defaults(fn=_cmd_lint)
     return parser
 

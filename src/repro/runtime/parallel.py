@@ -75,10 +75,19 @@ STORE_SCHEMA = 1
 
 #: package subdirectories whose sources determine simulation outcomes;
 #: all of them feed the code fingerprint.  ``experiments``/``cli`` are
-#: deliberately absent: renderers and drivers consume results, they do
-#: not produce them.
+#: deliberately absent as *directories*: renderers and drivers consume
+#: results, they do not produce them.
 FINGERPRINT_DIRS = ("sim", "hw", "svm", "vmmc", "faults", "apps",
                     "runtime", "hwdsm", "obs", "analysis")
+
+#: individual modules outside FINGERPRINT_DIRS that evaluate_cell can
+#: still execute (lazy imports): they shape cached payloads, so they
+#: must invalidate the cache too.  The FPR whole-program lint pass
+#: verifies this list covers everything reachable from this module.
+FINGERPRINT_MODULES = ("__init__.py", "experiments/cache.py",
+                       "experiments/critpath.py",
+                       "experiments/profile.py",
+                       "experiments/reporting.py")
 
 
 # --------------------------------------------------------------- canonical
@@ -133,11 +142,14 @@ def code_fingerprint() -> str:
     root = Path(repro.__file__).resolve().parent
     digest = hashlib.sha256()
     digest.update(repro.__version__.encode())
-    for sub in FINGERPRINT_DIRS:
-        for path in sorted((root / sub).rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
+    paths = [path
+             for sub in FINGERPRINT_DIRS
+             for path in sorted((root / sub).rglob("*.py"))]
+    paths.extend(root / mod for mod in FINGERPRINT_MODULES)
+    for path in sorted(paths):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
     return digest.hexdigest()[:16]
 
 

@@ -12,6 +12,7 @@ from .resources import RateServer, Resource, Store
 from .spans import SpanTracer, nic_track, node_track, rank_track
 from .stats import BUCKETS, RunningStat, TimeBuckets, weighted_mean
 from .trace import TraceEvent, Tracer
+from .trace_schema import TRACE_SCHEMA, TraceFamily
 
 __all__ = [
     "Event",
@@ -29,6 +30,8 @@ __all__ = [
     "weighted_mean",
     "TraceEvent",
     "Tracer",
+    "TRACE_SCHEMA",
+    "TraceFamily",
     "SpanTracer",
     "rank_track",
     "node_track",

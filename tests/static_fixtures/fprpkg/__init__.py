@@ -1,0 +1,1 @@
+"""Fixture: run-cache fingerprint with seeded FPR violations."""

@@ -1,0 +1,5 @@
+"""FPR001: reachable from the cache entry point, not fingerprinted."""
+
+
+def render(result):
+    return {"value": result}

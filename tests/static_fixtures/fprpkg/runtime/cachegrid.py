@@ -1,0 +1,12 @@
+"""The cache entry point: declares the fingerprint, lazily imports."""
+
+from ..sim.engine import run
+
+# FPR002: "ghostdir" does not exist on disk
+FINGERPRINT_DIRS = ("sim", "runtime", "ghostdir")
+FINGERPRINT_MODULES = ()
+
+
+def evaluate_cell(cell):
+    from ..render.tables import render      # lazy, outside the dirs
+    return render(run(cell))

@@ -1,0 +1,1 @@
+"""Fixture: protocol wiring with seeded PROTO violations."""

@@ -1,0 +1,28 @@
+"""Handler registrations: two live, one unreachable (PROTO002)."""
+
+
+class Message:
+    def __init__(self, kind="deposit", deliver_to_host=True,
+                 on_delivered=None):
+        self.kind = kind
+        self.deliver_to_host = deliver_to_host
+        self.on_delivered = on_delivered
+
+
+def wire(nic):
+    nic.fw_handlers["fetch_req"] = handle_fetch
+    nic.fw_handlers["lock_op"] = handle_lock
+    # PROTO002: no send site ever constructs kind "ghost_op"
+    nic.fw_handlers["ghost_op"] = handle_ghost
+
+
+def handle_fetch(msg):
+    return msg
+
+
+def handle_lock(msg):
+    return msg
+
+
+def handle_ghost(msg):
+    return msg

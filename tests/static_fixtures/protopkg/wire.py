@@ -1,0 +1,31 @@
+"""Send sites: one clean, four seeded PROTO violations."""
+
+from .nic import Message
+
+FW_KINDS = ("fetch_req", "lock_op", "drain_req")       # PROTO003: drain_req
+
+
+def good_send(vmmc):
+    yield from vmmc.send(0, 1, 32, kind="fetch_req",
+                         deliver_to_host=False)
+
+
+def orphan_fw_send(vmmc):
+    # PROTO001: no fw_handlers["evict_req"] anywhere
+    yield from vmmc.send(0, 1, 32, kind="evict_req",
+                         deliver_to_host=False)
+
+
+def misrouted_send():
+    # PROTO004: lock_op is a declared firmware kind, constructed
+    # without deliver_to_host=False
+    return Message(kind="lock_op")
+
+
+def fire_and_forget(vmmc):
+    # PROTO005: nothing consumes stats_blob deliveries
+    yield from vmmc.send(0, 1, 64, kind="stats_blob")
+
+
+def consumed_send(vmmc, done):
+    yield from vmmc.send(0, 1, 64, kind="page_reply", on_delivered=done)

@@ -1,0 +1,1 @@
+"""Fixture: shared-state mutation with seeded RACE violations."""

@@ -1,0 +1,27 @@
+"""Protocol code touching shared objects: two seeded RACE hits."""
+
+from .shared import Network
+
+
+class Machine:
+    def __init__(self, network):
+        self.network = network
+        self.network.fault_injector = None   # __init__ wiring: allowed
+
+    def handle(self):
+        # RACE001: mutating shared Network state outside dispatch
+        self.network.inflight = 0
+
+    def rebind(self, network):
+        self.network = network               # rebinding a ref: allowed
+
+
+def collect(results, store=None):
+    if store is None:
+        store = {}
+    return results
+
+
+def leaky(network=Network()):
+    # RACE002: one Network instance shared by every caller
+    return network

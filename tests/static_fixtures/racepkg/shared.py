@@ -1,0 +1,15 @@
+"""The shared classes; mutation inside them is allowed."""
+
+
+class Network:
+    def __init__(self):
+        self.fault_injector = None
+        self.inflight = 0
+
+    def absorb(self):
+        self.inflight += 1          # own method: allowed
+
+
+class ResultStore:
+    def __init__(self):
+        self.entries = {}

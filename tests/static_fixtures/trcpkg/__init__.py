@@ -1,0 +1,1 @@
+"""Fixture: trace emit sites with seeded TRC violations."""

@@ -79,7 +79,7 @@ def test_resource_use_helper_releases_on_completion():
     sim.process(worker())
     sim.run()
     assert res.in_use == 0
-    assert sim.now == 5.0
+    assert sim.now == 5.0  # repro: noqa[float-time-eq] — exact determinism check
 
 
 def test_resource_wait_time_accounting():
