@@ -15,12 +15,24 @@ executor's determinism contract); the script asserts that and records
 it.  Pool speedup is bounded by ``cpu_count`` — the recorded value
 makes a 1-core CI box's ~1x cold ratio interpretable.
 
-Also includes the tracer micro-benchmark for the ``Tracer.record``
-fast path: per-call cost of a rejected record on a no-sink tracer
-(``categories=()``) vs. an admitted record on an unfiltered tracer.
+Also includes two engine-core micro-benchmarks:
+
+* ``tracer_record`` — per-call cost of the ``Tracer.record`` fast
+  path: a rejected record on a no-sink tracer (``categories=()``) vs.
+  an admitted record on an unfiltered columnar tracer;
+* ``engine`` — ns per dispatched kernel event on one representative
+  cell (FFT/Base), for the legacy NIC loops and the macro-event NIC
+  drivers (``nic_macro_events=True``); the macro grid is also run
+  across all 10 cells and asserted results-identical to the legacy
+  grid, cell by cell.
+
+Pool modes with ``jobs > cpu_count`` are annotated ``oversubscribed``:
+on such a box the extra workers only add scheduling overhead, so a
+sub-1x cold ratio there is an artifact of the host, not a regression.
 Wall-clock timing lives here, not in ``src/`` (the determinism lint
 bans it there).
 """
+import dataclasses
 import json
 import shutil
 import sys
@@ -30,10 +42,12 @@ from os import cpu_count
 from pathlib import Path
 
 from repro import PROTOCOL_LADDER
+from repro.apps import APP_REGISTRY
 from repro.runtime.parallel import (GridExecutor, ResultStore, CellSpec,
                                     encode_result)
+from repro.runtime.runner import run_svm
 from repro.hw import MachineConfig
-from repro.sim import Tracer
+from repro.sim import Simulator, Tracer
 
 APPS = ("FFT", "Water-spatial")
 TRACE_CALLS = 200_000
@@ -73,6 +87,67 @@ def tracer_bench() -> dict:
     }
 
 
+def _timed_cell(config: MachineConfig):
+    """One FFT/Base run: (wall seconds, kernel events dispatched)."""
+    dispatched = []
+    orig_run = Simulator.run
+
+    def counting_run(self, until=None):
+        result = orig_run(self, until)
+        dispatched.append(self.events_dispatched)
+        return result
+
+    Simulator.run = counting_run
+    try:
+        t0 = time.perf_counter()  # repro: noqa[wall-clock] — benchmarks wall time
+        run_svm(APP_REGISTRY["FFT"](), PROTOCOL_LADDER[0], config=config)
+        elapsed = time.perf_counter() - t0  # repro: noqa[wall-clock] — benchmarks wall time
+    finally:
+        Simulator.run = orig_run
+    return elapsed, dispatched[-1]
+
+
+def engine_bench() -> dict:
+    """ns per dispatched event, legacy NIC loops vs macro-event mode."""
+    legacy_cfg = MachineConfig()
+    macro_cfg = dataclasses.replace(legacy_cfg, nic_macro_events=True)
+    _timed_cell(legacy_cfg)  # warm imports/caches off the clock
+    t_legacy, ev_legacy = _timed_cell(legacy_cfg)
+    t_macro, ev_macro = _timed_cell(macro_cfg)
+    return {
+        "cell": "FFT/Base",
+        "legacy": {"seconds": round(t_legacy, 3),
+                   "events_dispatched": ev_legacy,
+                   "ns_per_event": round(1e9 * t_legacy / ev_legacy, 1)},
+        "macro_nic": {"seconds": round(t_macro, 3),
+                      "events_dispatched": ev_macro,
+                      "ns_per_event": round(1e9 * t_macro / ev_macro, 1)},
+        "macro_event_reduction": round(1.0 - ev_macro / ev_legacy, 3),
+    }
+
+
+def macro_grid_check(legacy_encoded: dict) -> dict:
+    """Run the grid with macro-event NICs; results must match the
+    legacy grid cell-for-cell (configs differ, so compare by spec
+    order, not by digest)."""
+    macro_cfg = dataclasses.replace(MachineConfig(), nic_macro_events=True)
+    specs = [CellSpec(kind="svm", app=app, features=feats, config=macro_cfg)
+             for app in APPS for feats in PROTOCOL_LADDER]
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-macro-"))
+    try:
+        t0 = time.perf_counter()  # repro: noqa[wall-clock] — benchmarks wall time
+        out = GridExecutor(jobs=1, store=ResultStore(tmp)).map(specs)
+        elapsed = time.perf_counter() - t0  # repro: noqa[wall-clock] — benchmarks wall time
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    macro_results = [encode_result(out[spec.digest()]) for spec in specs]
+    legacy_results = list(legacy_encoded.values())
+    identical = macro_results == legacy_results
+    assert identical, "macro-event NIC diverged from the legacy loops"
+    return {"seconds": round(elapsed, 3),
+            "results_identical_to_legacy": identical}
+
+
 def main(out: str) -> None:
     tmp = Path(tempfile.mkdtemp(prefix="repro-bench-grid-"))
     try:
@@ -84,10 +159,13 @@ def main(out: str) -> None:
                 ("warm_jobs1", 1, tmp / "j1"),
                 ("warm_jobs4", 4, tmp / "j4")):
             elapsed, encoded = timed_map(jobs, root)
-            modes[name] = {"jobs": jobs, "seconds": round(elapsed, 3)}
+            modes[name] = {"jobs": jobs, "seconds": round(elapsed, 3),
+                           "oversubscribed": jobs > (cpu_count() or 1)}
             results[name] = encoded
+            tag = "  [oversubscribed]" if modes[name]["oversubscribed"] \
+                else ""
             print(f"{name:12s} jobs={jobs}  {elapsed:7.2f}s  "
-                  f"({len(encoded)} cells)")
+                  f"({len(encoded)} cells){tag}")
         identical = all(results[m] == results["cold_jobs1"]
                         for m in modes)
         assert identical, "determinism contract violated across modes"
@@ -95,6 +173,14 @@ def main(out: str) -> None:
         print(f"tracer: rejected {trace['rejected_ns_per_call']:.0f} "
               f"ns/call vs admitted {trace['admitted_ns_per_call']:.0f} "
               f"ns/call ({trace['rejection_speedup']:.1f}x)")
+        engine = engine_bench()
+        print(f"engine: legacy {engine['legacy']['ns_per_event']:.0f} "
+              f"ns/event vs macro-NIC "
+              f"{engine['macro_nic']['ns_per_event']:.0f} ns/event "
+              f"({engine['macro_event_reduction']:.1%} fewer events)")
+        macro = macro_grid_check(results["cold_jobs1"])
+        print(f"macro grid: {macro['seconds']:.2f}s, results identical "
+              f"to legacy loops")
         doc = {
             "grid": {"apps": list(APPS),
                      "variants": [f.name for f in PROTOCOL_LADDER],
@@ -111,6 +197,8 @@ def main(out: str) -> None:
             "tracer_record": {k: (round(v, 1)
                                   if isinstance(v, float) else v)
                               for k, v in trace.items()},
+            "engine": engine,
+            "macro_grid": macro,
         }
         with open(out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)

@@ -185,6 +185,7 @@ class PhaseProfiler:
         self.machine = None
         self.sim = None
         self._hook = None
+        self._tracer = None
         self._last_t = 0.0
         self._t_attach = 0.0
         self._t_final: Optional[float] = None
@@ -201,6 +202,7 @@ class PhaseProfiler:
         self.protocol = backend.protocol
         self.machine = backend.machine
         self.sim = self.machine.sim
+        self._tracer = getattr(self.protocol, "tracer", None)
         nprocs = self.machine.config.total_procs
         self._t_attach = self._last_t = self.sim.now
         self._last_buckets = [dict.fromkeys(BUCKETS, 0.0)
@@ -264,6 +266,14 @@ class PhaseProfiler:
         self.slices.append({"t0": self._last_t, "t1": t,
                             "ranks": ranks, "utilization": utilization})
         self._last_t = t
+        # Seal the tracer's active column block once per slice: a long
+        # traced run grows a list of frozen segments instead of one
+        # ever-reallocating array (purely observational — no events).
+        tracer = self._tracer
+        if tracer is not None:
+            flush = getattr(tracer, "flush", None)
+            if flush is not None:
+                flush()
 
     # --------------------------------------------------------------- profile
 

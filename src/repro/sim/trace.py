@@ -14,15 +14,35 @@ tests without threading counters everywhere.
     # dotted family the way filter() does:
     assert tracer.count("fetch.retry") == 0
     assert tracer.count_prefix("fetch") == len(tracer.filter("fetch"))
+
+Storage is **columnar** by default: an admitted record appends a float
+timestamp to an ``array('d')``, an interned category id to an
+``array('H')`` and the field dict to a parallel list — no
+:class:`TraceEvent` object, no per-record counter update.  Sequence
+numbers are implicit (``seq = dropped + index + 1``), per-category
+counts are folded lazily from the id columns, and :class:`TraceEvent`
+rows are materialized only on query, so ``to_jsonl()`` (and everything
+the sanitizer/critpath readers see) is byte-identical to the historical
+one-object-per-record sink.  That legacy sink is still available as
+``Tracer(sink="tuples")``; the golden regression tests compare the two
+bytewise on a full ladder cell.
+
+``flush()`` seals the mutable tail into a frozen segment; the profiler
+calls it once per time slice so a long traced run grows a list of
+immutable column blocks instead of one ever-reallocating array.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["TraceEvent", "Tracer"]
+
+#: one sealed column block: (timestamps, category ids, field dicts)
+_Segment = Tuple[array, array, List[Dict[str, Any]]]
 
 
 @dataclass(frozen=True)
@@ -55,26 +75,54 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded, filterable event recorder.
+    """Bounded, filterable event recorder (columnar storage).
 
     ``categories`` filters at record time on the *prefix* before the
     first dot (``"fetch"`` admits ``"fetch.retry"``); None records
     everything.  ``capacity`` bounds memory (oldest events drop);
-    counts are kept for all admitted events regardless.
+    counts are kept for all admitted events regardless.  ``sink``
+    selects the storage engine: ``"columnar"`` (default) or
+    ``"tuples"`` (the legacy one-TraceEvent-per-record deque, kept for
+    bytewise cross-validation).
     """
 
+    def __new__(cls, categories: Optional[Iterable[str]] = None,
+                capacity: Optional[int] = 100_000,
+                sink: str = "columnar"):
+        if sink not in ("columnar", "tuples"):
+            raise ValueError(f"unknown trace sink {sink!r}")
+        if cls is Tracer and sink == "tuples":
+            return object.__new__(_TupleTracer)
+        return object.__new__(cls)
+
     def __init__(self, categories: Optional[Iterable[str]] = None,
-                 capacity: Optional[int] = 100_000):
+                 capacity: Optional[int] = 100_000,
+                 sink: str = "columnar"):
         self.categories = set(categories) if categories is not None \
             else None
-        self._events: deque = deque(maxlen=capacity)
-        self._counts: Counter = Counter()
-        self._seq = 0
+        self.capacity = capacity
         #: category -> admission decision memo; ``wants`` is on the
         #: per-event hot path and the prefix split is pure overhead
         #: after the first sighting of a category.  Depends only on
         #: ``categories``, so it survives :meth:`clear`.
         self._admit: dict = {}
+        #: interned category table: id -> name and name -> id.  Ids are
+        #: append-ordered and survive :meth:`clear` (they never leak
+        #: into exported output, only into the id columns).
+        self._cats: List[str] = []
+        self._cid: Dict[str, int] = {}
+        self._segs: List[_Segment] = []      # sealed column blocks
+        self._ts: array = array("d")         # active timestamps
+        self._cids: array = array("H")       # active category ids
+        self._fds: List[Dict[str, Any]] = []  # active field dicts
+        self._seq = 0                        # total admitted ever
+        self._dropped = 0                    # admitted but evicted
+        self._dropped_counts: Counter = Counter()
+        self._counts_memo: Optional[Tuple[int, Counter]] = None
+        # Eviction is amortized: the record path only checks the active
+        # block's length against this threshold; a query trims exactly.
+        self._trim_at = (max(2 * capacity, 1)
+                         if capacity is not None else float("inf"))
 
     # ------------------------------------------------------------- record
 
@@ -89,8 +137,10 @@ class Tracer:
 
     def record(self, t: float, category: str, **fields) -> None:
         # Fast path: a no-sink tracer (``categories=()``) or a filtered
-        # category returns before touching counters or allocating a
-        # TraceEvent — the memo makes the rejection one dict probe.
+        # category returns before touching any storage — the memo makes
+        # the rejection one dict probe.  An admitted record is three
+        # appends and an intern probe; counts and TraceEvent objects
+        # are deferred to query time.
         categories = self.categories
         if categories is not None:
             admit = self._admit.get(category)
@@ -99,26 +149,121 @@ class Tracer:
                 self._admit[category] = admit
             if not admit:
                 return
-        self._counts[category] += 1
+        cid = self._cid.get(category)
+        if cid is None:
+            cid = len(self._cats)
+            self._cats.append(category)
+            self._cid[category] = cid
         self._seq += 1
-        self._events.append(TraceEvent(t=t, category=category,
-                                       fields=fields, seq=self._seq))
+        self._ts.append(t)
+        self._cids.append(cid)
+        fds = self._fds
+        fds.append(fields)
+        if len(fds) >= self._trim_at:
+            self._seal()
+            self._trim()
 
     #: hot-path alias: instrumented components may hold a bound
     #: ``tracer.emit`` reference; it shares ``record``'s fast path.
     emit = record
 
+    # ------------------------------------------------- columnar internals
+
+    def _seal(self) -> None:
+        """Freeze the active block into the segment list."""
+        if self._fds:
+            self._segs.append((self._ts, self._cids, self._fds))
+            self._ts = array("d")
+            self._cids = array("H")
+            self._fds = []
+
+    def _retained(self) -> int:
+        return (sum(len(s[2]) for s in self._segs) + len(self._fds))
+
+    def _trim(self) -> None:
+        """Evict oldest records until ``capacity`` holds.
+
+        Matches ``deque(maxlen=capacity)`` semantics exactly: the
+        retained window is always the last ``capacity`` admitted
+        records.  Evicted categories fold into ``_dropped_counts`` so
+        :meth:`count` keeps covering every admitted record.
+        """
+        cap = self.capacity
+        if cap is None:
+            return
+        excess = self._retained() - cap
+        if excess <= 0:
+            return
+        self._seal()
+        segs = self._segs
+        cats = self._cats
+        folded: Counter = Counter()
+        while excess > 0 and segs:
+            ts, cids, fds = segs[0]
+            n = len(fds)
+            if n <= excess:
+                folded.update(cids)
+                segs.pop(0)
+                excess -= n
+                self._dropped += n
+            else:
+                folded.update(cids[:excess])
+                segs[0] = (ts[excess:], cids[excess:], fds[excess:])
+                self._dropped += excess
+                excess = 0
+        for cid, n in folded.items():
+            self._dropped_counts[cats[cid]] += n
+        self._counts_memo = None
+
+    def flush(self) -> None:
+        """Seal the active block (called by the profiler per slice)."""
+        self._trim()
+        self._seal()
+
+    def _rows(self) -> Iterator[Tuple[int, float, str, Dict[str, Any]]]:
+        """Yield ``(seq, t, category, fields)`` for retained records."""
+        self._trim()
+        seq = self._dropped
+        cats = self._cats
+        for ts, cids, fds in self._segs:
+            for i in range(len(fds)):
+                seq += 1
+                yield seq, ts[i], cats[cids[i]], fds[i]
+        ts, cids, fds = self._ts, self._cids, self._fds
+        for i in range(len(fds)):
+            seq += 1
+            yield seq, ts[i], cats[cids[i]], fds[i]
+
+    def _total_counts(self) -> Counter:
+        memo = self._counts_memo
+        if memo is not None and memo[0] == self._seq:
+            return memo[1]
+        by_cid: Counter = Counter()
+        for _ts, cids, _fds in self._segs:
+            by_cid.update(cids)
+        by_cid.update(self._cids)
+        cats = self._cats
+        total: Counter = Counter()
+        for cid, n in by_cid.items():
+            total[cats[cid]] = n
+        total.update(self._dropped_counts)
+        self._counts_memo = (self._seq, total)
+        return total
+
     # -------------------------------------------------------------- query
 
     @property
     def events(self) -> List[TraceEvent]:
-        return list(self._events)
+        """Retained records, lazily materialized as :class:`TraceEvent`."""
+        return [TraceEvent(t=t, category=c, fields=f, seq=s)
+                for s, t, c, f in self._rows()]
 
     def filter(self, category: str) -> List[TraceEvent]:
         """Events whose category equals or starts with ``category``."""
-        return [e for e in self._events
-                if e.category == category
-                or e.category.startswith(category + ".")]
+        prefix = category + "."
+        return [TraceEvent(t=t, category=c, fields=f, seq=s)
+                for s, t, c, f in self._rows()
+                if c == category or c.startswith(prefix)]
 
     def count(self, category: str) -> int:
         """Total admitted events for an *exact* category.
@@ -126,22 +271,24 @@ class Tracer:
         ``count("fetch")`` does **not** include ``fetch.retry``; use
         :meth:`count_prefix` for family totals.
         """
-        return self._counts[category]
+        return self._total_counts()[category]
 
     def count_prefix(self, category: str) -> int:
         """Total admitted events whose category equals ``category`` or
         is a dot-qualified refinement of it — the same match rule as
         :meth:`filter`, but counting all admitted events (including
         ones a bounded ``capacity`` has already dropped)."""
+        counts = self._total_counts()
         prefix = category + "."
-        return self._counts[category] + sum(
-            n for c, n in self._counts.items() if c.startswith(prefix))
+        return counts[category] + sum(
+            n for c, n in counts.items() if c.startswith(prefix))
 
     def counts(self) -> Dict[str, int]:
-        return dict(self._counts)
+        return dict(self._total_counts())
 
     def between(self, t0: float, t1: float) -> List[TraceEvent]:
-        return [e for e in self._events if t0 <= e.t <= t1]
+        return [TraceEvent(t=t, category=c, fields=f, seq=s)
+                for s, t, c, f in self._rows() if t0 <= t <= t1]
 
     def to_text(self, limit: Optional[int] = None) -> str:
         events = self.events
@@ -150,9 +297,14 @@ class Tracer:
         return "\n".join(str(e) for e in events)
 
     def clear(self) -> None:
-        self._events.clear()
-        self._counts.clear()
+        self._segs = []
+        self._ts = array("d")
+        self._cids = array("H")
+        self._fds = []
         self._seq = 0
+        self._dropped = 0
+        self._dropped_counts = Counter()
+        self._counts_memo = None
 
     # ------------------------------------------------------------- export
 
@@ -161,9 +313,15 @@ class Tracer:
 
         Two runs of the same deterministic simulation must produce
         byte-identical streams; the determinism regression tests (and
-        ``repro check``) rely on this.
+        ``repro check``) rely on this.  Serialized straight from the
+        columns — same bytes as :meth:`TraceEvent.to_json` per row.
         """
-        return "\n".join(e.to_json() for e in self._events)
+        import json
+        dumps = json.dumps
+        return "\n".join(
+            dumps({"seq": s, "t": t, "category": c, "fields": f},
+                  sort_keys=True, separators=(",", ":"))
+            for s, t, c, f in self._rows())
 
     def to_chrome_trace(self, rank_field: str = "rank") -> List[dict]:
         """Events in Chrome tracing (``chrome://tracing`` / Perfetto)
@@ -182,7 +340,7 @@ class Tracer:
         every row."""
         import re
         span_cats = {"span.begin", "span.end", "span.flow", "span.wake"}
-        events = list(self._events)
+        events = self.events
 
         # -- pre-pass: discover rows and id->name maps
         ranks: set = set()
@@ -294,3 +452,71 @@ class Tracer:
         import json
         with open(path, "w") as fh:
             json.dump(self.to_chrome_trace(rank_field=rank_field), fh)
+
+
+class _TupleTracer(Tracer):
+    """The legacy sink: one :class:`TraceEvent` per record in a deque.
+
+    Construct via ``Tracer(sink="tuples")``.  Kept as the
+    cross-validation reference for the columnar sink — the golden
+    tests assert both produce byte-identical ``to_jsonl()`` on a full
+    ladder cell — and for any external code that pokes at a live
+    ``events`` list while recording.
+    """
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 capacity: Optional[int] = 100_000,
+                 sink: str = "tuples"):
+        self.categories = set(categories) if categories is not None \
+            else None
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._counts: Counter = Counter()
+        self._seq = 0
+        self._admit = {}
+
+    def record(self, t: float, category: str, **fields) -> None:
+        categories = self.categories
+        if categories is not None:
+            admit = self._admit.get(category)
+            if admit is None:
+                admit = category.split(".", 1)[0] in categories
+                self._admit[category] = admit
+            if not admit:
+                return
+        self._counts[category] += 1
+        self._seq += 1
+        self._events.append(TraceEvent(t=t, category=category,
+                                       fields=fields, seq=self._seq))
+
+    emit = record
+
+    def flush(self) -> None:
+        pass
+
+    def _rows(self) -> Iterator[Tuple[int, float, str, Dict[str, Any]]]:
+        for e in self._events:
+            yield e.seq, e.t, e.category, e.fields
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def count(self, category: str) -> int:
+        return self._counts[category]
+
+    def count_prefix(self, category: str) -> int:
+        prefix = category + "."
+        return self._counts[category] + sum(
+            n for c, n in self._counts.items() if c.startswith(prefix))
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._counts.clear()
+        self._seq = 0
+
+    def to_jsonl(self) -> str:
+        return "\n".join(e.to_json() for e in self._events)

@@ -1,0 +1,111 @@
+"""Macro-event NIC drivers: exactness against the legacy loops.
+
+The macro drivers (``MachineConfig.nic_macro_events=True``) replace the
+three generator loops with callback chains that mirror the legacy
+kernel hop structure.  The contract is byte-identical output: same
+trace, same results, fewer dispatched events.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import PROTOCOL_LADDER
+from repro.apps import APP_REGISTRY
+from repro.hw import FaultConfig, MachineConfig
+from repro.hw.machine import Machine
+from repro.runtime.parallel import encode_result
+from repro.runtime.runner import run_svm
+from repro.sim import Resource, Simulator, Tracer
+
+LEGACY = MachineConfig()
+MACRO = dataclasses.replace(LEGACY, nic_macro_events=True)
+
+
+def _run(app_name, features, config):
+    tracer = Tracer(capacity=None)
+    result = run_svm(APP_REGISTRY[app_name](), features, config=config,
+                     tracer=tracer)
+    return tracer.to_jsonl(), encode_result(result)
+
+
+def _ladder(name):
+    return next(f for f in PROTOCOL_LADDER if f.name == name)
+
+
+@pytest.mark.parametrize("ladder_name", ["Base", "GeNIMA"])
+def test_macro_mode_byte_identical_fft(ladder_name):
+    """Trace and results match the legacy loops bytewise.
+
+    Base exercises the interrupt/host-service path, GeNIMA the
+    firmware-handler and multicast paths.
+    """
+    features = _ladder(ladder_name)
+    legacy_trace, legacy_result = _run("FFT", features, LEGACY)
+    macro_trace, macro_result = _run("FFT", features, MACRO)
+    assert macro_trace == legacy_trace
+    assert macro_result == legacy_result
+
+
+def test_macro_mode_dispatches_fewer_events():
+    counts = {}
+    for key, config in (("legacy", LEGACY), ("macro", MACRO)):
+        seen = []
+        orig_run = Simulator.run
+
+        def counting_run(self, until=None, _orig=orig_run, _seen=seen):
+            out = _orig(self, until)
+            _seen.append(self.events_dispatched)
+            return out
+
+        Simulator.run = counting_run
+        try:
+            run_svm(APP_REGISTRY["FFT"](), _ladder("Base"), config=config)
+        finally:
+            Simulator.run = orig_run
+        counts[key] = seen[-1]
+    assert counts["macro"] < counts["legacy"]
+
+
+def test_macro_mode_falls_back_when_faults_armed():
+    """The reliability layer hooks the legacy loops; an armed fault
+    injector must silently disable the macro drivers."""
+    faulty = dataclasses.replace(MACRO, faults=FaultConfig(loss=0.01))
+    machine = Machine(config=faulty)
+    assert all(not nic._macro for nic in machine.nics)
+    clean = Machine(config=MACRO)
+    assert all(nic._macro for nic in clean.nics)
+
+
+def test_use_cb_queues_fifo_with_generator_clients():
+    """Callback holds and generator holds on one station keep their
+    request-instant order.  use_cb requests synchronously at call time;
+    a process requests at its boot dispatch one kernel event later, so
+    the callback hold lands first here, then the two generator holds in
+    spawn order."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def gen_user(tag, hold):
+        yield from res.use(hold)
+        order.append((tag, sim.now))
+
+    res.use_cb(3.0, lambda: order.append(("cb", sim.now)))
+    sim.process(gen_user("gen-a", 5.0))
+    sim.process(gen_user("gen-b", 2.0))
+    sim.run()
+    assert order == [("cb", 3.0), ("gen-a", 8.0), ("gen-b", 10.0)]
+
+
+def test_defer_preserves_fifo_position():
+    """defer() lands in the current instant's FIFO lane exactly where
+    schedule(0, ...) would."""
+    sim = Simulator()
+    order = []
+    sim.schedule(0.0, lambda: order.append("scheduled-first"))
+    sim.defer(lambda: order.append("deferred"))
+    sim.schedule(0.0, lambda: order.append("scheduled-last"))
+    sim.run()
+    assert order == ["scheduled-first", "deferred", "scheduled-last"]
+    assert sim.events_dispatched == 3

@@ -298,3 +298,159 @@ def test_callback_added_after_dispatch_runs_immediately():
     got = []
     ev.add_callback(lambda e: got.append(e.value))
     assert got == [7]
+
+
+# -- horizon-bounded slice hooks (run(until=...) tail fix) ----------------
+
+
+def test_slice_hooks_fire_up_to_until_after_last_event():
+    """Boundaries between the final event and ``until`` must fire."""
+    sim = Simulator()
+    seen = []
+    sim.add_slice_hook(10.0, seen.append)
+
+    def proc():
+        yield sim.timeout(15.0)
+
+    sim.process(proc())
+    end = sim.run(until=45.0)
+    assert end == 45.0
+    # 10 fires before the event at 15; 20/30/40 are tail boundaries.
+    assert seen == [10.0, 20.0, 30.0, 40.0]
+
+
+def test_slice_hook_boundary_exactly_at_until_fires_once():
+    sim = Simulator()
+    seen = []
+    sim.add_slice_hook(10.0, seen.append)
+    sim.run(until=20.0)
+    assert seen == [10.0, 20.0]
+    # Resuming past the horizon does not re-fire the boundary at 20.
+    def proc():
+        yield sim.timeout(15.0)  # fires at t=35
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [10.0, 20.0, 30.0]
+
+
+def test_slice_hooks_fire_on_empty_bounded_run():
+    """Even a drained simulation reports every window up to the horizon."""
+    sim = Simulator()
+    seen = []
+    sim.add_slice_hook(5.0, seen.append)
+    end = sim.run(until=12.0)
+    assert end == 12.0
+    assert seen == [5.0, 10.0]
+
+
+# -- interrupt of a triggered-but-undispatched wait target ----------------
+
+
+def test_interrupt_when_wait_target_triggered_but_undispatched():
+    sim = Simulator()
+    outcome = []
+
+    def waiter():
+        ev = sim.event()
+        holder.append(ev)
+        try:
+            val = yield ev
+            outcome.append(("value", val))
+        except Interrupt as intr:
+            outcome.append(("interrupt", intr.cause))
+
+    holder = []
+    p = sim.process(waiter())
+    sim.run()
+    ev = holder[0]
+    # Trigger the target, then interrupt before the kernel dispatches it.
+    ev.succeed("late")
+    p.interrupt("stop")
+    sim.run()
+    # The interrupt wins; the event's (detached) dispatch must not
+    # resume the process a second time.
+    assert outcome == [("interrupt", "stop")]
+
+
+# -- combination-event callback detach ------------------------------------
+
+
+def test_any_of_detaches_callbacks_from_losers():
+    sim = Simulator()
+    long_lived = sim.event()
+
+    def retry_loop():
+        for i in range(50):
+            yield sim.any_of([long_lived, sim.timeout(1.0)])
+
+    sim.process(retry_loop())
+    sim.run()
+    # Without detach the loser accumulates one dead closure per lap.
+    assert len(long_lived._callbacks) == 0
+
+
+def test_all_of_detaches_callbacks_on_failure():
+    sim = Simulator()
+    pending = sim.event()
+
+    def proc():
+        failing = sim.event()
+        combined = sim.all_of([pending, failing])
+        failing.fail(RuntimeError("boom"))
+        try:
+            yield combined
+        except RuntimeError:
+            pass
+
+    sim.process(proc())
+    sim.run()
+    assert len(pending._callbacks) == 0
+
+
+def test_all_of_failure_does_not_read_failed_value():
+    sim = Simulator()
+
+    def proc():
+        failing = sim.event()
+        other = sim.event()
+        combined = sim.all_of([failing, other])
+        failing.fail(ValueError("nope"))
+        with pytest.raises(ValueError):
+            yield combined
+
+    sim.process(proc())
+    sim.run()
+
+
+def test_any_of_still_delivers_winner_value():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        a, b = sim.event(), sim.event()
+        sim.schedule(2.0, lambda: a.succeed("A"))
+        sim.schedule(1.0, lambda: b.succeed("B"))
+        val = yield sim.any_of([a, b])
+        got.append((sim.now, val))
+        assert len(a._callbacks) == 0  # loser detached
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(1.0, "B")]
+
+
+def test_events_dispatched_counter_accumulates():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    first = sim.events_dispatched
+    assert first > 0
+    sim.process(proc())
+    sim.run()
+    assert sim.events_dispatched > first

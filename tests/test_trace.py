@@ -225,3 +225,91 @@ def test_trace_event_ordering_is_chronological():
     run_all(machine, [worker(r) for r in range(16)])
     times = [e.t for e in tracer.events]
     assert times == sorted(times)
+
+
+# -- columnar vs legacy tuple sink -----------------------------------------
+
+
+def test_sink_arg_validated_and_selects_engine():
+    import pytest
+    with pytest.raises(ValueError):
+        Tracer(sink="parquet")
+    assert type(Tracer(sink="tuples")) is not type(Tracer())
+    assert isinstance(Tracer(sink="tuples"), Tracer)
+
+
+def _fill(tr, n=500):
+    for i in range(n):
+        tr.record(float(i) / 8, f"fam.{i % 7}", gid=i, rank=i % 4)
+    return tr
+
+
+def test_columnar_jsonl_matches_tuple_sink_bytewise():
+    col = _fill(Tracer(capacity=None))
+    tup = _fill(Tracer(capacity=None, sink="tuples"))
+    assert col.to_jsonl() == tup.to_jsonl()
+    assert col.counts() == tup.counts()
+    assert col.events == tup.events
+
+
+def test_columnar_matches_tuple_sink_under_eviction():
+    col = _fill(Tracer(capacity=64), n=1000)
+    tup = _fill(Tracer(capacity=64, sink="tuples"), n=1000)
+    assert col.to_jsonl() == tup.to_jsonl()
+    assert col.counts() == tup.counts()          # counts cover dropped
+    assert [e.seq for e in col.events] == [e.seq for e in tup.events]
+    assert col.count_prefix("fam") == 1000
+
+
+def test_columnar_flush_is_transparent():
+    col = Tracer(capacity=None)
+    tup = Tracer(capacity=None, sink="tuples")
+    for i in range(300):
+        col.record(float(i), "x", i=i)
+        tup.record(float(i), "x", i=i)
+        if i % 37 == 0:
+            col.flush()
+            tup.flush()
+    col.flush()
+    assert col.to_jsonl() == tup.to_jsonl()
+    assert col.between(10.0, 20.0) == tup.between(10.0, 20.0)
+    assert col.filter("x") == tup.filter("x")
+
+
+def test_columnar_flush_with_eviction_keeps_window_exact():
+    col = Tracer(capacity=100)
+    tup = Tracer(capacity=100, sink="tuples")
+    for i in range(1000):
+        col.record(float(i), "y", i=i)
+        tup.record(float(i), "y", i=i)
+        if i % 23 == 0:
+            col.flush()
+    assert col.to_jsonl() == tup.to_jsonl()
+    assert col.counts() == tup.counts()
+
+
+def test_columnar_clear_resets_but_keeps_admission_memo():
+    col = Tracer(categories={"lock"})
+    col.record(1.0, "lock.a")
+    col.record(1.0, "fetch.b")
+    col.clear()
+    assert col.events == [] and col.counts() == {}
+    col.record(2.0, "lock.a")
+    assert col.count("lock.a") == 1
+    assert [e.seq for e in col.events] == [1]
+
+
+def test_columnar_sink_full_ladder_cell_bytewise():
+    """Golden: both sinks on one full SVM ladder cell, byte-identical."""
+    from repro.apps import APP_REGISTRY
+    from repro.runtime.runner import run_svm
+    from repro.svm import GENIMA
+
+    outs = {}
+    for sink in ("columnar", "tuples"):
+        tracer = Tracer(capacity=None, sink=sink)
+        run_svm(APP_REGISTRY["FFT"](), GENIMA,
+                config=MachineConfig(), tracer=tracer)
+        outs[sink] = tracer.to_jsonl()
+    assert outs["columnar"] == outs["tuples"]
+    assert outs["columnar"]  # non-trivial trace
