@@ -26,6 +26,10 @@ Also includes two engine-core micro-benchmarks:
   across all 10 cells and asserted results-identical to the legacy
   grid, cell by cell.
 
+A ``scale`` section times datacenter-scale machine construction
+(64/256/1024 nodes, lazy metrics) and records a small KVStore
+speedup-vs-nodes curve on crossbar and fat-tree fabrics.
+
 Pool modes with ``jobs > cpu_count`` are annotated ``oversubscribed``:
 on such a box the extra workers only add scheduling overhead, so a
 sub-1x cold ratio there is an artifact of the host, not a regression.
@@ -43,10 +47,11 @@ from pathlib import Path
 
 from repro import PROTOCOL_LADDER
 from repro.apps import APP_REGISTRY
+from repro.experiments import ExperimentCache, compute_scale
 from repro.runtime.parallel import (GridExecutor, ResultStore, CellSpec,
                                     encode_result)
 from repro.runtime.runner import run_svm
-from repro.hw import MachineConfig
+from repro.hw import Machine, MachineConfig
 from repro.sim import Simulator, Tracer
 
 APPS = ("FFT", "Water-spatial")
@@ -148,6 +153,30 @@ def macro_grid_check(legacy_encoded: dict) -> dict:
             "results_identical_to_legacy": identical}
 
 
+def scale_bench() -> dict:
+    """Datacenter-scale machine construction plus a mini scaling curve."""
+    construction_ms = {}
+    for nodes in (64, 256, 1024):
+        cfg = MachineConfig(nodes=nodes, procs_per_node=1)
+        t0 = time.perf_counter()  # repro: noqa[wall-clock] — benchmarks wall time
+        Machine(cfg)
+        construction_ms[str(nodes)] = round(
+            1e3 * (time.perf_counter() - t0), 2)  # repro: noqa[wall-clock] — benchmarks wall time
+    t0 = time.perf_counter()  # repro: noqa[wall-clock] — benchmarks wall time
+    rows = compute_scale(app_name="KVStore", node_counts=(4, 16, 64),
+                         topologies=("crossbar", "fat-tree"),
+                         cache=ExperimentCache())
+    elapsed = time.perf_counter() - t0  # repro: noqa[wall-clock] — benchmarks wall time
+    return {
+        "machine_construction_ms": construction_ms,
+        "kvstore_curve": [
+            {"topology": r["topology"], "protocol": r["protocol"],
+             "nodes": r["nodes"], "speedup": round(r["speedup"], 2)}
+            for r in rows],
+        "curve_seconds": round(elapsed, 3),
+    }
+
+
 def main(out: str) -> None:
     tmp = Path(tempfile.mkdtemp(prefix="repro-bench-grid-"))
     try:
@@ -181,6 +210,11 @@ def main(out: str) -> None:
         macro = macro_grid_check(results["cold_jobs1"])
         print(f"macro grid: {macro['seconds']:.2f}s, results identical "
               f"to legacy loops")
+        scale = scale_bench()
+        print(f"scale: 1024-node machine in "
+              f"{scale['machine_construction_ms']['1024']:.0f} ms, "
+              f"KVStore curve ({len(scale['kvstore_curve'])} cells) in "
+              f"{scale['curve_seconds']:.1f}s")
         doc = {
             "grid": {"apps": list(APPS),
                      "variants": [f.name for f in PROTOCOL_LADDER],
@@ -199,6 +233,7 @@ def main(out: str) -> None:
                               for k, v in trace.items()},
             "engine": engine,
             "macro_grid": macro,
+            "scale": scale,
         }
         with open(out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)

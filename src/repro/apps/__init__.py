@@ -1,7 +1,10 @@
-"""The ten SPLASH-2 application models of the paper's evaluation."""
+"""The ten SPLASH-2 application models of the paper's evaluation,
+plus datacenter workloads for the scaled machine model."""
 
 from .barnes import BarnesOriginal, BarnesSpatial
 from .base import APP_REGISTRY, Application, pages_for_bytes, register
+from .datacenter import (ArrivalProcess, OpenLoop, ParameterServer,
+                         ShardedKVStore)
 from .fft import FFT
 from .lu import LU
 from .ocean import Ocean
@@ -39,4 +42,12 @@ __all__ = [
     "Raytrace",
     "BarnesOriginal",
     "BarnesSpatial",
+    "ArrivalProcess",
+    "ShardedKVStore",
+    "ParameterServer",
+    "OpenLoop",
+    "DATACENTER_APPS",
 ]
+
+#: the datacenter workloads (scale experiments, not Table 1).
+DATACENTER_APPS = ["KVStore", "ParamServer", "OpenLoop"]

@@ -12,6 +12,7 @@ Examples::
     python -m repro table 1
     python -m repro profile --app fft --variant base --variant genima
     python -m repro critpath --app fft --variant base --variant genima
+    python -m repro scale --app KVStore --nodes 16 --nodes 256
     python -m repro calibrate
     python -m repro check --app Barnes-spatial
     python -m repro lint
@@ -46,10 +47,14 @@ def _make_cache(args, config=None):
 
 
 def _cmd_list(_args) -> int:
+    from .apps import DATACENTER_APPS
     print("applications:")
     for name in PAPER_APPS:
         cls = APP_REGISTRY[name]
         print(f"  {name:18s} paper size: {cls.paper_params}")
+    print("\ndatacenter workloads (repro scale):")
+    for name in DATACENTER_APPS:
+        print(f"  {name}")
     print("\nprotocols:")
     for name in PROTOCOLS:
         print(f"  {name}")
@@ -295,6 +300,29 @@ def _variant_path(base: str, variant: str, many: bool) -> str:
     slug = variant.replace("+", "-")
     stem, dot, ext = base.rpartition(".")
     return f"{stem}-{slug}.{ext}" if dot else f"{base}-{slug}"
+
+
+def _cmd_scale(args) -> int:
+    """Datacenter scaling curves: speedup vs nodes x topology x rung."""
+    from .experiments import (SCALE_NODES, SCALE_TOPOLOGIES,
+                              compute_scale, render_scale)
+    feature_sets = [PROTOCOLS[p] for p in (args.protocol
+                                           or ["Base", "GeNIMA"])]
+    rows = compute_scale(
+        app_name=args.app,
+        node_counts=tuple(args.nodes or SCALE_NODES),
+        topologies=tuple(args.topology or SCALE_TOPOLOGIES),
+        feature_sets=feature_sets,
+        procs_per_node=args.procs_per_node,
+        cache=_make_cache(args), seed=args.seed)
+    print(render_scale(rows, args.app))
+    if args.out:
+        payload = {"app": args.app, "rows": rows}
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
 
 
 def _cmd_calibrate(_args) -> int:
@@ -596,6 +624,32 @@ def build_parser() -> argparse.ArgumentParser:
     crit.add_argument("--paper-size", action="store_true",
                       help="use the paper's problem size (slow)")
     crit.set_defaults(fn=_cmd_critpath)
+
+    scale = sub.add_parser(
+        "scale", parents=[grid_parent],
+        help="datacenter scaling curves: speedup vs node count "
+             "across fabric topologies and protocol rungs")
+    scale.add_argument("--app", default="KVStore",
+                       choices=["KVStore", "ParamServer", "OpenLoop"],
+                       help="datacenter workload (default: KVStore)")
+    scale.add_argument("--nodes", type=int, action="append",
+                       help="node count(s) to sweep (default: "
+                            "4 16 64 256 1024)")
+    scale.add_argument("--topology", action="append",
+                       choices=["crossbar", "fat-tree", "dragonfly"],
+                       help="fabric model(s) (default: crossbar and "
+                            "fat-tree)")
+    scale.add_argument("--protocol", action="append",
+                       choices=sorted(PROTOCOLS),
+                       help="protocol rung(s) (default: Base and "
+                            "GeNIMA)")
+    scale.add_argument("--procs-per-node", type=int, default=1,
+                       help="SMP width per node (default: 1 at scale)")
+    scale.add_argument("--seed", type=int, default=0,
+                       help="workload seed")
+    scale.add_argument("--out", metavar="PATH",
+                       help="also write the rows as JSON")
+    scale.set_defaults(fn=_cmd_scale)
 
     sub.add_parser("calibrate",
                    help="communication-layer microbenchmarks") \

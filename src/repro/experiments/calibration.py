@@ -10,7 +10,7 @@ sit in bands around the paper's numbers.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..hw import Machine, MachineConfig
 from ..svm import BASE, DW_RF, HLRCProtocol
@@ -21,7 +21,8 @@ __all__ = ["measure_comm_layer", "measure_page_fetch",
            "render_calibration"]
 
 
-def measure_comm_layer(config: MachineConfig = None) -> Dict[str, float]:
+def measure_comm_layer(
+        config: Optional[MachineConfig] = None) -> Dict[str, float]:
     """One-word latency, large-transfer bandwidth, post overhead."""
     config = config or MachineConfig()
     machine = Machine(config)
@@ -62,7 +63,8 @@ def measure_comm_layer(config: MachineConfig = None) -> Dict[str, float]:
     return out
 
 
-def measure_page_fetch(config: MachineConfig = None) -> Dict[str, float]:
+def measure_page_fetch(
+        config: Optional[MachineConfig] = None) -> Dict[str, float]:
     """Uncontended page fetch latency, Base (interrupt) vs RF paths."""
     config = config or MachineConfig()
     out: Dict[str, float] = {}

@@ -14,7 +14,7 @@ text table the benchmark harness prints.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..apps import PAPER_APPS
 from ..sim import BUCKETS
@@ -35,7 +35,7 @@ LADDER_NAMES = [f.name for f in PROTOCOL_LADDER]
 # ------------------------------------------------------------------ Figure 1
 
 def compute_figure1(cache: ExperimentCache = CACHE,
-                    apps: List[str] = None) -> Dict[str, Dict[str, float]]:
+                    apps: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
     cache.warm([spec for app in apps
                 for spec in (cache.spec_seq(app), cache.spec_origin(app),
@@ -59,7 +59,7 @@ def render_figure1(data: Dict[str, Dict[str, float]]) -> str:
 # ------------------------------------------------------------------ Figure 2
 
 def compute_figure2(cache: ExperimentCache = CACHE,
-                    apps: List[str] = None) -> Dict[str, Dict[str, float]]:
+                    apps: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
     cache.warm([cache.spec_seq(app) for app in apps]
                + [cache.spec_svm(app, feats)
@@ -84,7 +84,7 @@ def render_figure2(data: Dict[str, Dict[str, float]]) -> str:
 # ------------------------------------------------------------------ Figure 3
 
 def compute_figure3(cache: ExperimentCache = CACHE,
-                    apps: List[str] = None) -> Dict[str, Dict[str, Dict[str, float]]]:
+                    apps: Optional[List[str]] = None) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Per app, per protocol: execution-time fractions normalized to
     the Base protocol's total (as the paper's stacked bars are)."""
     apps = apps or PAPER_APPS
@@ -120,7 +120,7 @@ def render_figure3(data) -> str:
 # ------------------------------------------------------------------ Figure 4
 
 def compute_figure4(cache: ExperimentCache = CACHE,
-                    apps: List[str] = None) -> Dict[str, Dict[str, float]]:
+                    apps: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
     cache.warm([spec for app in apps
                 for spec in (cache.spec_seq(app), cache.spec_origin(app),

@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..apps import PAPER_APPS
 from ..svm import BASE, DW, DW_RF, DW_RF_DD, GENIMA
@@ -42,7 +42,7 @@ LADDER = (BASE, DW, DW_RF, DW_RF_DD, GENIMA)
 
 
 def compute_table1(cache: ExperimentCache = CACHE,
-                   apps: List[str] = None) -> Dict[str, Dict[str, float]]:
+                   apps: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
     cache.warm([cache.spec_seq(app) for app in apps]
                + [cache.spec_svm(app, feats)
@@ -89,7 +89,7 @@ def render_table1(data: Dict[str, Dict[str, float]]) -> str:
 # ------------------------------------------------------------------- Table 2
 
 def compute_table2(cache: ExperimentCache = CACHE,
-                   apps: List[str] = None) -> Dict[str, Dict[str, float]]:
+                   apps: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
     cache.warm([cache.spec_svm(app, GENIMA) for app in apps])
     out = {}
@@ -118,7 +118,7 @@ STAGE_NAMES = ("source", "lanai", "net", "dest")
 
 
 def compute_table34(cache: ExperimentCache = CACHE,
-                    apps: List[str] = None) -> Dict[str, Dict]:
+                    apps: Optional[List[str]] = None) -> Dict[str, Dict]:
     """Returns {app: {"small": {"Base": ratios, "GeNIMA": ratios},
     "large": {...}}} with per-stage contention ratios."""
     apps = apps or PAPER_APPS
@@ -159,7 +159,7 @@ def render_table34(data: Dict[str, Dict], size_class: str) -> str:
 # ------------------------------------------------------------------- Table 5
 
 def compute_table5(cache: ExperimentCache = CACHE,
-                   apps: List[str] = None) -> Dict[str, Dict[str, float]]:
+                   apps: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
     apps = apps or PAPER_APPS
     cache.warm([spec for app in apps
                 for spec in (cache.spec_seq(app),

@@ -9,7 +9,7 @@ artifact, but the quantity every Section 3.3 argument is about.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..hw import MachineConfig
 from ..runtime import run_on_backend
@@ -22,7 +22,7 @@ __all__ = ["traffic_profile", "render_traffic"]
 
 
 def traffic_profile(app_name: str, features: ProtocolFeatures,
-                    config: MachineConfig = None) -> Dict[str, Dict]:
+                    config: Optional[MachineConfig] = None) -> Dict[str, Dict]:
     """Run one app/protocol and return packets+bytes by message kind."""
     backend = SVMBackend(config or MachineConfig(), features)
     run_on_backend(APP_REGISTRY[app_name](), backend,

@@ -64,12 +64,21 @@ class MsgIds:
 class FaultInjector:
     """Per-link packet fault decisions between injection and receive."""
 
-    def __init__(self, sim, config: MachineConfig, msg_ids=None):
+    def __init__(self, sim, config: MachineConfig, msg_ids=None,
+                 topology=None):
         if config.faults is None:
             raise ValueError("FaultInjector needs config.faults")
         self.sim = sim
         self.config = config
         self.fcfg: FaultConfig = config.faults
+        # Per-(src, dst) base latency; the Machine shares its network's
+        # topology, a bare injector builds its own.  The crossbar
+        # returns ``wire_latency_us`` exactly, so armed-fault runs on
+        # the default fabric keep their pre-topology schedules.
+        if topology is None:
+            from ..hw.topology import build_topology
+            topology = build_topology(config)
+        self.topology = topology
         #: optional repro.sim.Tracer receiving ``fault.*`` events.
         self.tracer = None
         self.msg_ids = msg_ids if msg_ids is not None else MsgIds()
@@ -98,7 +107,7 @@ class FaultInjector:
         destination NI's arrival entry point."""
         f = self.fcfg
         src, dst = pkt.src, pkt.dst
-        wire = self.config.wire_latency_us
+        wire = self.topology.latency_us(src, dst)
         if not f.affects(src, dst):
             self.sim.schedule(wire, lambda: receive(pkt))
             return
@@ -138,8 +147,14 @@ class FaultInjector:
             copy = dataclasses.replace(pkt)
             self.sim.schedule(latency + wire, lambda: receive(copy))
 
+    #: counter name -> backing attribute; per-key consumers (the
+    #: Machine's ``faults.*`` gauges) read one attribute instead of
+    #: rebuilding the whole dict per key per metrics snapshot.
+    COUNTER_ATTRS = {"packets_dropped": "drops",
+                     "packets_duplicated": "dups",
+                     "packets_reordered": "reorders",
+                     "packets_jittered": "jittered"}
+
     def counters(self) -> Dict[str, int]:
-        return {"packets_dropped": self.drops,
-                "packets_duplicated": self.dups,
-                "packets_reordered": self.reorders,
-                "packets_jittered": self.jittered}
+        return {name: getattr(self, attr)
+                for name, attr in self.COUNTER_ATTRS.items()}

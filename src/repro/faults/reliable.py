@@ -253,9 +253,15 @@ class ReliabilityLayer:
 
     # ------------------------------------------------------------ results
 
+    #: counter name -> backing attribute; per-key consumers (the
+    #: Machine's ``retx.*`` gauges) read one attribute instead of
+    #: rebuilding the whole dict per key per metrics snapshot.
+    COUNTER_ATTRS = {"retransmits": "retransmits",
+                     "retx_timeouts": "retx_timeouts",
+                     "acks_sent": "acks_sent",
+                     "acks_received": "acks_received",
+                     "dup_discards": "dup_discards"}
+
     def counters(self) -> Dict[str, int]:
-        return {"retransmits": self.retransmits,
-                "retx_timeouts": self.retx_timeouts,
-                "acks_sent": self.acks_sent,
-                "acks_received": self.acks_received,
-                "dup_discards": self.dup_discards}
+        return {name: getattr(self, attr)
+                for name, attr in self.COUNTER_ATTRS.items()}

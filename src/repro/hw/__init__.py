@@ -1,4 +1,4 @@
-"""Hardware model: SMP nodes, Myrinet-style NIs, crossbar network."""
+"""Hardware model: SMP nodes, Myrinet-style NIs, pluggable fabrics."""
 
 from .config import PAPER_16P, PAPER_32P, FaultConfig, MachineConfig
 from .machine import Machine
@@ -6,6 +6,8 @@ from .network import Network
 from .nic import NIC
 from .node import Node
 from .packet import SMALL_MESSAGE_BYTES, Message, Packet
+from .topology import (TOPOLOGIES, Crossbar, Dragonfly, FatTree, Topology,
+                       build_topology)
 
 __all__ = [
     "FaultConfig",
@@ -19,4 +21,10 @@ __all__ = [
     "Message",
     "Packet",
     "SMALL_MESSAGE_BYTES",
+    "Topology",
+    "Crossbar",
+    "FatTree",
+    "Dragonfly",
+    "TOPOLOGIES",
+    "build_topology",
 ]

@@ -121,6 +121,19 @@ class MachineConfig:
     # -- topology ----------------------------------------------------------
     nodes: int = 4
     procs_per_node: int = 4
+    #: fabric hop model (see :mod:`repro.hw.topology`): ``"crossbar"``
+    #: is the paper's single non-blocking switch (byte-identical to the
+    #: pre-topology model); ``"fat-tree"`` and ``"dragonfly"`` compute
+    #: per-(src, dst) latency from node coordinates in O(1).
+    topology: str = "crossbar"
+    #: fat-tree switch radix (even); 0 = smallest radix that fits.
+    topology_radix: int = 0
+    #: dragonfly hosts-per-router ``p`` (balanced: a=2p, h=p);
+    #: 0 = smallest balanced dragonfly that fits.
+    topology_group_size: int = 0
+    #: extra latency per switch traversal beyond the first (the first
+    #: traversal is ``wire_latency_us``, the calibrated constant).
+    hop_latency_us: float = 0.5
 
     # -- memory system ------------------------------------------------------
     page_size: int = 4096
@@ -184,6 +197,19 @@ class MachineConfig:
 
     # -- RNG ---------------------------------------------------------------------
     seed: int = 12345
+
+    def __post_init__(self):
+        if self.nodes < 1 or self.procs_per_node < 1:
+            raise ValueError("nodes and procs_per_node must be >= 1")
+        # Imported here (not at module top) purely for the name check;
+        # repro.hw.topology has no imports back into this module.
+        from .topology import TOPOLOGIES
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r} (choose from "
+                f"{', '.join(sorted(TOPOLOGIES))})")
+        if self.hop_latency_us < 0:
+            raise ValueError("hop_latency_us must be >= 0")
 
     # -- derived -------------------------------------------------------------
     @property

@@ -1,8 +1,17 @@
-"""Cluster assembly: nodes + NICs + network on one simulator."""
+"""Cluster assembly: nodes + NICs + network on one simulator.
+
+Construction is O(1) registry work per node: nodes and NICs are built
+eagerly (their boot order feeds the engine's event FIFO, so laziness
+there would perturb dispatch order and break trace byte-identity), but
+their per-node metric instruments — ~10 names per node, 10k+ at 1024
+nodes — are registered through one deferred thunk that the registry
+runs on its first query.  A machine whose metrics are never read pays
+nothing; one that is read materializes the full namespace once.
+"""
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..obs import MetricsRegistry
 from ..sim import Simulator
@@ -17,7 +26,8 @@ __all__ = ["Machine"]
 class Machine:
     """The simulated cluster: one call builds the whole testbed."""
 
-    def __init__(self, config: MachineConfig = None, sim: Simulator = None):
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 sim: Optional[Simulator] = None):
         self.config = config or MachineConfig()
         self.sim = sim or Simulator()
         #: machine-wide metric namespace; every layer registers its
@@ -34,11 +44,10 @@ class Machine:
         for node_id in range(self.config.nodes):
             node = Node(self.sim, self.config, node_id)
             nic = NIC(self.sim, self.config, node_id, self.network,
-                      metrics=self.metrics, macro=macro_nic)
+                      macro=macro_nic)
             self.network.attach(node_id, nic)
             self.nodes.append(node)
             self.nics.append(nic)
-            node.register_metrics(self.metrics)
         self.fault_injector = None
         self.reliability = None
         if self.config.faults is not None:
@@ -46,20 +55,32 @@ class Machine:
             # top-level import would be circular.
             from ..faults import FaultInjector, MsgIds, ReliabilityLayer
             ids = MsgIds()  # one table: fault.* and retx.* must agree
-            self.fault_injector = FaultInjector(self.sim, self.config,
-                                                msg_ids=ids)
+            self.fault_injector = FaultInjector(
+                self.sim, self.config, msg_ids=ids,
+                topology=self.network.topology)
             self.network.fault_injector = self.fault_injector
             self.reliability = ReliabilityLayer(self, msg_ids=ids)
-            for layer, prefix in ((self.fault_injector, "faults"),
-                                  (self.reliability, "retx")):
-                for key in layer.counters():
-                    self.metrics.gauge(
-                        f"{prefix}.{key}",
-                        lambda la=layer, k=key: la.counters()[k])
+        self.metrics.defer(self._register_metrics)
+
+    def _register_metrics(self, metrics: MetricsRegistry) -> None:
+        """Deferred: bind every per-node/per-layer instrument name."""
+        for node in self.nodes:
+            node.register_metrics(metrics)
+        for nic in self.nics:
+            nic.register_metrics(metrics)
+        for layer, prefix in ((self.fault_injector, "faults"),
+                              (self.reliability, "retx")):
+            if layer is None:
+                continue
+            for key, attr in layer.COUNTER_ATTRS.items():
+                metrics.gauge(f"{prefix}.{key}",
+                              lambda la=layer, a=attr: getattr(la, a))
 
     def attach_tracer(self, tracer) -> None:
-        """Point the fault/retransmit layers at ``tracer`` (no-op when
-        fault injection is off)."""
+        """Point the network's route tracing and the fault/retransmit
+        layers at ``tracer`` (crossbar fabrics emit no route records,
+        and the fault hookup is a no-op when fault injection is off)."""
+        self.network.set_tracer(tracer)
         if self.fault_injector is not None:
             self.fault_injector.tracer = tracer
             self.reliability.tracer = tracer
@@ -81,5 +102,5 @@ class Machine:
         """The NIC of the node hosting global process ``rank``."""
         return self.nics[self.config.node_of(rank)]
 
-    def run(self, until: float = None) -> float:
+    def run(self, until: Optional[float] = None) -> float:
         return self.sim.run(until=until)

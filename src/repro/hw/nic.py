@@ -19,7 +19,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, Optional
 
-from ..sim import Event, RateServer, Resource, Simulator, Store, Timeout
+from ..sim import (Event, RateServer, Resource, RunningStat, Simulator,
+                   Store, Timeout)
 from .config import MachineConfig
 from .packet import Message, Packet
 
@@ -100,9 +101,11 @@ class NIC:
         self.packets_received = 0
         self.fw_packets = 0
 
-        #: registry-owned end-to-end packet latency (post -> done);
-        #: None when the NIC is built without a MetricsRegistry.
-        self.delivery_latency = None
+        #: end-to-end packet latency (post -> done).  Owned by the NIC
+        #: from construction — ``register_metrics`` binds this same
+        #: accumulator into the registry, so deferred (lazy) metric
+        #: registration loses no samples.
+        self.delivery_latency = RunningStat()
         if metrics is not None:
             self.register_metrics(metrics)
 
@@ -544,19 +547,19 @@ class NIC:
             self.pci.transfer_cb(pkt.size, delivered)
 
     def register_metrics(self, metrics) -> None:
-        """Join a MetricsRegistry: counters as gauges, plus a
-        registry-owned latency RunningStat."""
+        """Join a MetricsRegistry: counters as gauges, plus the
+        NIC-owned latency RunningStat (bound, not reset)."""
         prefix = f"nic.{self.node_id}"
         metrics.register_gauges(prefix, self, "packets_sent",
                                 "packets_received", "fw_packets")
         metrics.gauge(f"{prefix}.lanai_busy_us", self.lanai.sample_busy)
         metrics.gauge(f"{prefix}.pci_busy_us", self.pci.sample_busy)
         metrics.gauge(f"{prefix}.link_busy_us", self.out_link.sample_busy)
-        self.delivery_latency = metrics.stat(f"{prefix}.delivery_latency_us")
+        metrics.register_stat(f"{prefix}.delivery_latency_us",
+                              self.delivery_latency)
 
     def _finish(self, pkt: Packet) -> None:
-        if self.delivery_latency is not None \
-                and pkt.t_enqueue is not None:
+        if pkt.t_enqueue is not None:
             self.delivery_latency.add(self.sim.now - pkt.t_enqueue)
         if self.reliability is not None:
             self.reliability.packet_done(self, pkt)

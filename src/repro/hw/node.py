@@ -14,6 +14,7 @@ processors on the node and the application's bus intensity.
 from __future__ import annotations
 
 import random
+from typing import Optional
 
 from ..sim import Resource, Simulator
 from .config import MachineConfig
@@ -47,7 +48,7 @@ class Node:
     # -- compute ------------------------------------------------------------
 
     def compute_time(self, t_us: float, bus_intensity: float = 0.0,
-                     active_procs: int = None) -> float:
+                     active_procs: Optional[int] = None) -> float:
         """Inflate ``t_us`` of local compute for SMP memory-bus contention.
 
         ``bus_intensity`` in [0, 1] is how memory-bandwidth-bound the

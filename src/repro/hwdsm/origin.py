@@ -13,7 +13,7 @@ still above GeNIMA for most applications.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..sim import Resource, Simulator
 from ..runtime.context import Backend
@@ -67,7 +67,8 @@ class _Region:
 class HWDSMBackend(Backend):
     """Runs application op-streams under hardware-DSM costs."""
 
-    def __init__(self, config: HWDSMConfig = None, sim: Simulator = None):
+    def __init__(self, config: Optional[HWDSMConfig] = None,
+                 sim: Optional[Simulator] = None):
         self.config = config or HWDSMConfig()
         self.sim = sim or Simulator()
         self._regions: Dict[str, _Region] = {}

@@ -28,7 +28,7 @@ last instance wins.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..sim import RunningStat
 
@@ -76,12 +76,35 @@ Instrument = Union[Counter, Gauge, RunningStat]
 
 
 class MetricsRegistry:
-    """One namespace of instruments per simulated machine."""
+    """One namespace of instruments per simulated machine.
+
+    Registration can be *deferred*: a layer with many cheap instruments
+    (the Machine's per-node NIC/node gauges — ~10 per node, 10k+ names
+    at 1024 nodes) hands the registry a thunk via :meth:`defer` instead
+    of registering eagerly.  Pending thunks run on the first namespace
+    query (``get``/``names``/``snapshot``/iteration), so building a
+    large machine costs O(1) registry work per node and a machine whose
+    metrics are never read pays nothing at all.  Deferral changes only
+    *when* names materialize, never instrument values: layers keep
+    their own counters/stats live from construction and the thunk binds
+    the existing objects.
+    """
 
     def __init__(self):
         self._instruments: Dict[str, Instrument] = {}
+        self._pending: List[Callable[["MetricsRegistry"], None]] = []
 
     # -------------------------------------------------------------- register
+
+    def defer(self, register_fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Queue ``register_fn(registry)`` until the first query."""
+        self._pending.append(register_fn)
+
+    def _materialize(self) -> None:
+        while self._pending:
+            pending, self._pending = self._pending, []
+            for fn in pending:
+                fn(self)
 
     def counter(self, name: str, value: Number = 0) -> Counter:
         """Create (or rebind) a counter; returns the new instrument."""
@@ -101,6 +124,16 @@ class MetricsRegistry:
         self._instruments[name] = instrument
         return instrument
 
+    def register_stat(self, name: str, stat: RunningStat) -> RunningStat:
+        """Bind ``name`` to an *existing* RunningStat.
+
+        Layers that own their accumulator from construction (the NIC's
+        delivery-latency stat) register it here at materialize time
+        without resetting the values recorded so far.
+        """
+        self._instruments[name] = stat
+        return stat
+
     def register_gauges(self, prefix: str, obj: object, *attrs: str) -> None:
         """Export plain counter attributes of ``obj`` as gauges.
 
@@ -115,18 +148,28 @@ class MetricsRegistry:
     # ----------------------------------------------------------------- query
 
     def get(self, name: str) -> Optional[Instrument]:
+        if self._pending:
+            self._materialize()
         return self._instruments.get(name)
 
     def names(self) -> Tuple[str, ...]:
+        if self._pending:
+            self._materialize()
         return tuple(sorted(self._instruments))
 
     def __contains__(self, name: str) -> bool:
+        if self._pending:
+            self._materialize()
         return name in self._instruments
 
     def __iter__(self) -> Iterator[Tuple[str, Instrument]]:
+        if self._pending:
+            self._materialize()
         return iter(sorted(self._instruments.items()))
 
     def __len__(self) -> int:
+        if self._pending:
+            self._materialize()
         return len(self._instruments)
 
     # -------------------------------------------------------------- snapshot

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..hw import Machine, MachineConfig
 from ..sim import SpanTracer
 from ..svm import HLRCProtocol, ProtocolFeatures
@@ -90,7 +92,7 @@ class LocalBackend(Backend):
     bus contention — a single processor owns the node).
     """
 
-    def __init__(self, config: MachineConfig = None):
+    def __init__(self, config: Optional[MachineConfig] = None):
         cfg = (config or MachineConfig()).scaled(nodes=1, procs_per_node=1)
         self.machine = Machine(cfg)
         self.config = cfg

@@ -129,6 +129,11 @@ TRACE_SCHEMA: Dict[str, TraceFamily] = _build(
     family("nilock.granted", ["node", "lock"],
            doc="NI lock: token arrived at the requester"),
 
+    # ---- network fabric (repro.hw.network) ----
+    family("net.route",
+           ["src", "dst", "kind", "size", "hops", "latency_us"],
+           doc="packet routed on a non-crossbar topology"),
+
     # ---- fault injection (repro.faults.injector) ----
     family("fault.drop",
            ["src", "dst", "kind", "msg", "idx", "size",

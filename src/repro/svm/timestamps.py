@@ -12,7 +12,7 @@ to the merged clock before touching shared data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 __all__ = ["VectorClock", "WriteNotice", "Interval", "IntervalLog"]
 
@@ -22,7 +22,8 @@ class VectorClock:
 
     __slots__ = ("_v",)
 
-    def __init__(self, nodes: int = 0, values: Iterable[int] = None):
+    def __init__(self, nodes: int = 0,
+                 values: Optional[Iterable[int]] = None):
         if values is not None:
             self._v = list(values)
         else:

@@ -31,6 +31,28 @@ def test_run_rejects_unknown_app():
         main(["run", "--app", "NotAnApp"])
 
 
+def test_scale_command_writes_curves(capsys, tmp_path):
+    import json
+    out = tmp_path / "scale.json"
+    assert main(["scale", "--app", "OpenLoop", "--nodes", "2",
+                 "--nodes", "4", "--topology", "crossbar",
+                 "--topology", "fat-tree", "--no-cache",
+                 "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "crossbar" in text and "fat-tree" in text
+    data = json.loads(out.read_text())
+    assert data["app"] == "OpenLoop"
+    # 2 topologies x 2 default rungs x 2 node counts.
+    assert len(data["rows"]) == 8
+    for row in data["rows"]:
+        assert row["speedup"] > 0
+
+
+def test_scale_rejects_non_datacenter_app():
+    with pytest.raises(SystemExit):
+        main(["scale", "--app", "FFT"])
+
+
 def test_ladder_command(capsys):
     assert main(["ladder", "--app", "Water-spatial"]) == 0
     out = capsys.readouterr().out

@@ -4,11 +4,13 @@ import pytest
 
 from repro.experiments import (ExperimentCache, compute_figure1,
                                compute_figure2, compute_figure4,
-                               compute_table1, compute_table2,
-                               compute_table34, format_table,
-                               measure_comm_layer, render_figure1,
-                               render_figure2, render_table1,
-                               render_table2, render_table34)
+                               compute_scale, compute_table1,
+                               compute_table2, compute_table34,
+                               format_table, measure_comm_layer,
+                               render_figure1, render_figure2,
+                               render_scale, render_table1,
+                               render_table2, render_table34,
+                               scale_params)
 from repro.svm import BASE, GENIMA
 
 FAST_APPS = ["Water-spatial", "Ocean-rowwise"]
@@ -46,6 +48,32 @@ def test_cache_speedup_uses_sequential_baseline(cache):
     result = cache.svm("Water-spatial", GENIMA)
     assert cache.speedup("Water-spatial", result) == pytest.approx(
         cache.seq("Water-spatial").time_us / result.time_us)
+
+
+# -------------------------------------------------------------------- scale
+
+def test_scale_params_hold_total_work_fixed():
+    one = scale_params("KVStore", 1)
+    many = scale_params("KVStore", 64)
+    assert one["requests_per_rank"] == 64 * many["requests_per_rank"]
+    ps1 = scale_params("ParamServer", 1)
+    ps64 = scale_params("ParamServer", 64)
+    assert ps1["compute_us"] == pytest.approx(64 * ps64["compute_us"])
+    with pytest.raises(ValueError):
+        scale_params("FFT", 4)
+
+
+def test_compute_scale_covers_the_grid(cache):
+    rows = compute_scale(app_name="OpenLoop", node_counts=(2, 4),
+                         topologies=("crossbar", "fat-tree"),
+                         feature_sets=(BASE, GENIMA), cache=cache)
+    assert len(rows) == 2 * 2 * 2
+    for row in rows:
+        assert row["speedup"] > 0
+        assert row["procs"] == row["nodes"]  # 1 proc/node at scale
+    text = render_scale(rows, "OpenLoop")
+    assert "crossbar" in text and "fat-tree" in text
+    assert "Base" in text and "GeNIMA" in text
 
 
 # ------------------------------------------------------------------ figures

@@ -3,7 +3,13 @@
 Loose bands around the currently-calibrated results; a change that
 moves these likely recalibrates the whole reproduction and should be
 made deliberately (then update these bands and EXPERIMENTS.md).
+
+The pinned-hash tests at the bottom are exact: the default (crossbar)
+configuration must produce byte-identical traces to the pre-topology
+simulator.  Any intentional recalibration must update the pins.
 """
+
+import hashlib
 
 import pytest
 
@@ -45,6 +51,29 @@ def test_spanned_trace_is_byte_identical_across_runs():
     tr2, r2 = _spanned_run()
     assert r1.time_us == r2.time_us
     assert tr1.to_jsonl() == tr2.to_jsonl()
+
+
+#: (app, features, spanned-trace sha256, completion time) captured on
+#: the default crossbar config before the topology layer landed.
+GOLDEN_PINS = [
+    (WaterSpatial, BASE,
+     "1442d9ae70de2d3504aef26b2f006bedd6b2afe6f1e42784cb3e054e14afd266",
+     51455.38932828744),
+    (BarnesSpatial, GENIMA,
+     "57cedce95fcabb5399b87905ddb5a6efc0135092f126c3fa1784dc495d3dc4e8",
+     54653.601676691804),
+]
+
+
+@pytest.mark.parametrize("app_cls,features,sha,time_us", GOLDEN_PINS,
+                         ids=["water-base", "barnes-genima"])
+def test_default_crossbar_traces_byte_identical_to_pre_topology(
+        app_cls, features, sha, time_us):
+    tracer = Tracer(capacity=None)
+    result = run_svm(app_cls(), features, tracer=tracer, spans=True)
+    assert result.time_us == time_us
+    digest = hashlib.sha256(tracer.to_jsonl().encode()).hexdigest()
+    assert digest == sha
 
 
 def test_spans_do_not_perturb_the_schedule():

@@ -59,3 +59,32 @@ def test_scaled_copy_overrides_fields():
 def test_config_is_immutable():
     with pytest.raises(Exception):
         PAPER_16P.nodes = 10  # type: ignore[misc]
+
+
+@pytest.mark.parametrize("nodes", [3, 8, 257])
+def test_node_of_covers_odd_node_counts(nodes):
+    cfg = PAPER_16P.scaled(nodes=nodes)
+    per = cfg.procs_per_node
+    assert cfg.total_procs == nodes * per
+    assert cfg.node_of(0) == 0
+    assert cfg.node_of(per - 1) == 0
+    assert cfg.node_of(per) == 1
+    assert cfg.node_of(cfg.total_procs - 1) == nodes - 1
+    assert cfg.procs_of(nodes - 1)[-1] == cfg.total_procs - 1
+    with pytest.raises(ValueError):
+        cfg.node_of(cfg.total_procs)
+
+
+def test_paper_32p_unchanged_by_topology_fields():
+    # the scaled-machine fields default to the paper's fabric.
+    assert PAPER_32P.nodes == 8
+    assert PAPER_32P.topology == "crossbar"
+    assert PAPER_32P.topology_radix == 0
+    assert PAPER_32P.hop_latency_us == 0.5
+
+
+def test_topology_field_validation():
+    with pytest.raises(ValueError):
+        PAPER_16P.scaled(topology="mesh")
+    with pytest.raises(ValueError):
+        PAPER_16P.scaled(hop_latency_us=-1.0)

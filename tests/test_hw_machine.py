@@ -111,6 +111,77 @@ def test_network_rejects_loopback_packet():
         machine.network.deliver(pkt)
 
 
+@pytest.mark.parametrize("nodes", [3, 8, 257])
+def test_machine_invariants_at_odd_node_counts(nodes):
+    cfg = MachineConfig(nodes=nodes, procs_per_node=1)
+    machine = Machine(cfg)
+    assert machine.network.node_ids == list(range(nodes))
+    assert cfg.node_of(0) == 0
+    assert cfg.node_of(nodes - 1) == nodes - 1
+    assert machine.node_of(nodes - 1) is machine.nodes[-1]
+    with pytest.raises(ValueError):
+        cfg.node_of(nodes)
+
+
+def test_node_ids_cache_tracks_attach():
+    machine = Machine(MachineConfig(nodes=3))
+    net = machine.network
+    ids = net.node_ids
+    assert ids == [0, 1, 2]
+    # the cached list is returned by reference, rebuilt only on attach.
+    assert net.node_ids is ids
+    net.attach(7, machine.nics[0])
+    assert net.node_ids == [0, 1, 2, 7]
+
+
+def test_config_rejects_non_positive_counts():
+    with pytest.raises(ValueError):
+        MachineConfig(nodes=0)
+    with pytest.raises(ValueError):
+        MachineConfig(procs_per_node=0)
+
+
+def test_large_machine_constructs_quickly():
+    import time
+    t0 = time.perf_counter()  # repro: noqa[wall-clock] — timing test
+    machine = Machine(MachineConfig(nodes=1024, procs_per_node=1))
+    elapsed = time.perf_counter() - t0  # repro: noqa[wall-clock] — timing test
+    assert len(machine.nodes) == 1024
+    # acceptance bound is < 1s; typical is tens of ms with lazy metrics.
+    assert elapsed < 1.0, f"1024-node construction took {elapsed:.2f}s"
+
+
+def test_machine_metrics_registration_is_deferred():
+    machine = Machine(MachineConfig(nodes=4))
+    # no instrument materialized yet: construction queued one thunk.
+    assert len(machine.metrics._instruments) == 0
+    assert machine.metrics._pending
+    names = machine.metrics.names()
+    assert "nic.3.delivery_latency_us" in names
+    assert "node.0.interrupts_taken" in names
+    assert not machine.metrics._pending
+
+
+def test_deferred_metrics_lose_no_samples():
+    machine = Machine(MachineConfig(nodes=2))
+    # samples recorded before the registry ever materializes ...
+    machine.nics[1].delivery_latency.add(12.5)
+    snap = machine.metrics.snapshot()
+    # ... are visible once it does: the NIC owns the accumulator.
+    assert snap["nic.1.delivery_latency_us"]["count"] == 1
+    assert snap["nic.1.delivery_latency_us"]["mean"] == 12.5
+
+
+def test_fault_gauges_read_per_key_attributes():
+    from repro.hw import FaultConfig
+    machine = Machine(MachineConfig(faults=FaultConfig(loss=0.01)))
+    machine.fault_injector.drops = 5
+    machine.reliability.retransmits = 7
+    snap = machine.metrics.snapshot()
+    assert snap["faults.packets_dropped"] == 5
+    assert snap["retx.retransmits"] == 7
+
+
 # ------------------------------------------------------------------ packet
 
 def test_message_rejects_negative_size():

@@ -142,6 +142,48 @@ def test_registry_rebinding_last_instance_wins():
     assert reg.snapshot()["svm.x"] == 2
 
 
+def test_deferred_registration_runs_on_first_query():
+    reg = MetricsRegistry()
+    calls = []
+
+    def register(r):
+        calls.append(True)
+        r.counter("lazy.count", 3)
+
+    reg.defer(register)
+    assert calls == []                  # nothing ran yet
+    assert "lazy.count" in reg          # first query materializes
+    assert calls == [True]
+    assert reg.snapshot()["lazy.count"] == 3
+    assert calls == [True]              # thunk ran exactly once
+
+
+def test_deferred_registration_supports_nested_defers():
+    reg = MetricsRegistry()
+
+    def inner(r):
+        r.counter("b", 2)
+
+    def outer(r):
+        r.counter("a", 1)
+        r.defer(inner)
+
+    reg.defer(outer)
+    snap = reg.snapshot()
+    assert snap == {"a": 1, "b": 2}
+
+
+def test_register_stat_binds_existing_accumulator_without_reset():
+    reg = MetricsRegistry()
+    stat = RunningStat()
+    stat.add(5.0)
+    bound = reg.register_stat("layer.lat", stat)
+    assert bound is stat
+    assert reg.snapshot()["layer.lat"]["count"] == 1
+    stat.add(7.0)
+    assert reg.snapshot()["layer.lat"]["mean"] == pytest.approx(6.0)
+
+
 def test_machine_layers_register_into_the_registry():
     machine = Machine(TWO_NODES)
     names = machine.metrics.names()
