@@ -24,7 +24,11 @@ Also includes two engine-core micro-benchmarks:
   cell (FFT/Base), for the legacy NIC loops and the macro-event NIC
   drivers (``nic_macro_events=True``); the macro grid is also run
   across all 10 cells and asserted results-identical to the legacy
-  grid, cell by cell.
+  grid, cell by cell;
+* ``telemetry`` — sampler overhead: ns per dispatched event with a
+  ``TimeSeriesSampler`` attached at the default cadence vs. the same
+  cell unsampled (the event counts must match — sampling rides slice
+  hooks and adds no heap events).
 
 A ``scale`` section times datacenter-scale machine construction
 (64/256/1024 nodes, lazy metrics) and records a small KVStore
@@ -92,7 +96,7 @@ def tracer_bench() -> dict:
     }
 
 
-def _timed_cell(config: MachineConfig):
+def _timed_cell(config: MachineConfig, telemetry=None):
     """One FFT/Base run: (wall seconds, kernel events dispatched)."""
     dispatched = []
     orig_run = Simulator.run
@@ -105,7 +109,8 @@ def _timed_cell(config: MachineConfig):
     Simulator.run = counting_run
     try:
         t0 = time.perf_counter()  # repro: noqa[wall-clock] — benchmarks wall time
-        run_svm(APP_REGISTRY["FFT"](), PROTOCOL_LADDER[0], config=config)
+        run_svm(APP_REGISTRY["FFT"](), PROTOCOL_LADDER[0], config=config,
+                telemetry=telemetry)
         elapsed = time.perf_counter() - t0  # repro: noqa[wall-clock] — benchmarks wall time
     finally:
         Simulator.run = orig_run
@@ -128,6 +133,33 @@ def engine_bench() -> dict:
                       "events_dispatched": ev_macro,
                       "ns_per_event": round(1e9 * t_macro / ev_macro, 1)},
         "macro_event_reduction": round(1.0 - ev_macro / ev_legacy, 3),
+    }
+
+
+def telemetry_bench() -> dict:
+    """ns per dispatched event with a TimeSeriesSampler attached at the
+    default 1000 us cadence vs an unsampled run, on the same cell.
+
+    The sampler rides slice hooks (no heap events), so the event count
+    is identical either way and the overhead fraction isolates the
+    pure probe-polling cost.
+    """
+    from repro.obs import TimeSeriesSampler
+    config = MachineConfig()
+    _timed_cell(config)  # warm off the clock
+    t_off, ev_off = _timed_cell(config)
+    t_on, ev_on = _timed_cell(config,
+                              telemetry=TimeSeriesSampler(
+                                  cadence_us=1000.0))
+    assert ev_on == ev_off, "sampling must not add kernel events"
+    return {
+        "cell": "FFT/Base",
+        "cadence_us": 1000.0,
+        "off": {"seconds": round(t_off, 3),
+                "ns_per_event": round(1e9 * t_off / ev_off, 1)},
+        "on": {"seconds": round(t_on, 3),
+               "ns_per_event": round(1e9 * t_on / ev_on, 1)},
+        "overhead_fraction": round(t_on / t_off - 1.0, 4),
     }
 
 
@@ -207,6 +239,11 @@ def main(out: str) -> None:
               f"ns/event vs macro-NIC "
               f"{engine['macro_nic']['ns_per_event']:.0f} ns/event "
               f"({engine['macro_event_reduction']:.1%} fewer events)")
+        telemetry = telemetry_bench()
+        print(f"telemetry: {telemetry['off']['ns_per_event']:.0f} "
+              f"ns/event unsampled vs {telemetry['on']['ns_per_event']:.0f} "
+              f"ns/event sampled "
+              f"({telemetry['overhead_fraction']:+.1%} overhead)")
         macro = macro_grid_check(results["cold_jobs1"])
         print(f"macro grid: {macro['seconds']:.2f}s, results identical "
               f"to legacy loops")
@@ -232,6 +269,7 @@ def main(out: str) -> None:
                                   if isinstance(v, float) else v)
                               for k, v in trace.items()},
             "engine": engine,
+            "telemetry": telemetry,
             "macro_grid": macro,
             "scale": scale,
         }

@@ -325,6 +325,104 @@ def _cmd_scale(args) -> int:
     return 0
 
 
+def _make_telemetry_config(args) -> MachineConfig:
+    """Machine config for the telemetry subcommands: ``--nodes`` plus
+    optional topology / SMP-width overrides."""
+    config = MachineConfig(nodes=args.nodes)
+    overrides = {}
+    if args.topology:
+        overrides["topology"] = args.topology
+    if args.procs_per_node:
+        overrides["procs_per_node"] = args.procs_per_node
+    return config.scaled(**overrides) if overrides else config
+
+
+def _make_telemetry_app(args, config: MachineConfig):
+    """The app instance for a telemetry run; ``--scale`` applies the
+    fixed-total-work sizing of ``repro scale``."""
+    cls = APP_REGISTRY[args.app]
+    if getattr(args, "scale", False):
+        from .experiments import scale_params
+        try:
+            params = scale_params(args.app, config.total_procs,
+                                  seed=args.seed)
+        except ValueError as err:
+            raise SystemExit(f"error: --scale: {err}")
+        return cls(**params)
+    if getattr(args, "paper_size", False):
+        return cls(**cls.paper_params)
+    return cls()
+
+
+def _run_sampled(args, with_profile: bool, with_tracer: bool):
+    """One sampled run shared by ``repro metrics`` / ``repro dash``:
+    returns ``(sampler, profiler, tracer, result)``."""
+    from .obs import PhaseProfiler, TimeSeriesSampler
+    from .sim import Tracer
+    config = _make_telemetry_config(args)
+    app = _make_telemetry_app(args, config)
+    tracer = Tracer() if with_tracer else None
+    sampler = TimeSeriesSampler(cadence_us=args.cadence_us,
+                                top_k=args.top_k, tracer=tracer)
+    profiler = (PhaseProfiler(slice_us=args.slice_us)
+                if with_profile else None)
+    result = run_svm(app, PROTOCOLS[args.protocol], config=config,
+                     tracer=tracer, profiler=profiler,
+                     telemetry=sampler)
+    return sampler, profiler, tracer, result
+
+
+def _cmd_metrics(args) -> int:
+    """Sampled run -> registry snapshot + telemetry summary, as an
+    OpenMetrics exposition or a JSON document."""
+    from .obs import render_openmetrics
+    sampler, _, _, result = _run_sampled(args, with_profile=False,
+                                         with_tracer=False)
+    snapshot = sampler.machine.metrics.snapshot()
+    if args.openmetrics:
+        text = render_openmetrics(snapshot=snapshot,
+                                  telemetry=result.telemetry)
+    else:
+        text = json.dumps({"app": args.app, "protocol": args.protocol,
+                           "nodes": args.nodes,
+                           "time_us": result.time_us,
+                           "snapshot": snapshot,
+                           "telemetry": result.telemetry},
+                          indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_dash(args) -> int:
+    """Sampled + profiled run -> ASCII/HTML dashboard (and optionally
+    a Perfetto trace with telemetry counter tracks merged in)."""
+    from .obs import render_dash, render_dash_html
+    sampler, profiler, tracer, result = _run_sampled(
+        args, with_profile=True, with_tracer=bool(args.perfetto))
+    profile = profiler.build_profile(result)
+    title = (f"{args.app}/{args.protocol} {args.nodes} nodes "
+             f"({result.time_us / 1000:.1f} ms)")
+    print(render_dash(sampler, profile=profile, title=title,
+                      top_k=args.top_k, width=args.width))
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(render_dash_html(sampler, profile=profile,
+                                      title=title, top_k=args.top_k))
+        print(f"\nwrote {args.html}")
+    if args.perfetto:
+        events = sampler.merge_chrome_trace(tracer.to_chrome_trace())
+        with open(args.perfetto, "w") as fh:
+            json.dump(events, fh)
+            fh.write("\n")
+        print(f"wrote {args.perfetto}")
+    return 0
+
+
 def _cmd_calibrate(_args) -> int:
     from .experiments import (measure_comm_layer, measure_page_fetch,
                               render_calibration)
@@ -650,6 +748,61 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--out", metavar="PATH",
                        help="also write the rows as JSON")
     scale.set_defaults(fn=_cmd_scale)
+
+    telemetry_parent = argparse.ArgumentParser(add_help=False)
+    tele = telemetry_parent.add_argument_group("sampled run")
+    tele.add_argument("--app", required=True,
+                      choices=sorted(APP_REGISTRY))
+    tele.add_argument("--protocol", default="GeNIMA",
+                      choices=sorted(PROTOCOLS))
+    tele.add_argument("--nodes", type=int, default=4,
+                      help="node count (default: 4)")
+    tele.add_argument("--topology", default=None,
+                      choices=["crossbar", "fat-tree", "dragonfly"],
+                      help="fabric model (default: machine default)")
+    tele.add_argument("--procs-per-node", type=int, default=None,
+                      help="SMP width per node (default: machine "
+                           "default)")
+    tele.add_argument("--cadence-us", type=float, default=1000.0,
+                      help="telemetry sampling slice width in us of "
+                           "sim time (default: 1000)")
+    tele.add_argument("--top-k", type=int, default=8,
+                      help="hot nodes per metric (default: 8)")
+    tele.add_argument("--scale", action="store_true",
+                      help="size the workload with the fixed-total-"
+                           "work recipe of `repro scale` (KVStore, "
+                           "ParamServer, OpenLoop)")
+    tele.add_argument("--paper-size", action="store_true",
+                      help="use the paper's problem size (slow)")
+    tele.add_argument("--seed", type=int, default=0,
+                      help="workload seed (with --scale)")
+
+    metrics = sub.add_parser(
+        "metrics", parents=[telemetry_parent],
+        help="sampled run: registry snapshot + telemetry summary "
+             "as OpenMetrics or JSON")
+    metrics.add_argument("--openmetrics", action="store_true",
+                         help="emit the OpenMetrics text exposition "
+                              "instead of JSON")
+    metrics.add_argument("--out", metavar="PATH",
+                         help="write to PATH instead of stdout")
+    metrics.set_defaults(fn=_cmd_metrics)
+
+    dash = sub.add_parser(
+        "dash", parents=[telemetry_parent],
+        help="sampled run: ASCII/HTML telemetry dashboard with "
+             "sparklines, hot-node tables and phase overlay")
+    dash.add_argument("--slice-us", type=float, default=1000.0,
+                      help="phase-profiler slice width in us "
+                           "(default: 1000)")
+    dash.add_argument("--width", type=int, default=64,
+                      help="sparkline width in columns (default: 64)")
+    dash.add_argument("--html", metavar="PATH",
+                      help="also write an HTML dashboard")
+    dash.add_argument("--perfetto", metavar="PATH",
+                      help="write a Chrome/Perfetto trace with the "
+                           "telemetry counter tracks merged in")
+    dash.set_defaults(fn=_cmd_dash)
 
     sub.add_parser("calibrate",
                    help="communication-layer microbenchmarks") \

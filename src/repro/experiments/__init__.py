@@ -17,8 +17,8 @@ from .figures import (compute_figure1, compute_figure2, compute_figure3,
 from .profile import (collect_profile, collect_profiles,
                       collect_profiles_grid)
 from .reporting import format_table
-from .scale import (SCALE_NODES, SCALE_TOPOLOGIES, compute_scale,
-                    render_scale, scale_params)
+from .scale import (SCALE_NODES, SCALE_TELEMETRY_US, SCALE_TOPOLOGIES,
+                    compute_scale, render_scale, scale_params)
 from .sensitivity import (interrupt_cost_sensitivity, render_scaling,
                           render_sensitivity, scaling_study)
 from .traffic import render_traffic, traffic_profile
@@ -49,7 +49,8 @@ __all__ = [
     "ablate_diff_scatter", "ablate_eager_wn", "render_ablation",
     "interrupt_cost_sensitivity", "render_sensitivity",
     "scaling_study", "render_scaling",
-    "SCALE_NODES", "SCALE_TOPOLOGIES", "scale_params",
+    "SCALE_NODES", "SCALE_TELEMETRY_US", "SCALE_TOPOLOGIES",
+    "scale_params",
     "compute_scale", "render_scale",
     "traffic_profile", "render_traffic",
 ]

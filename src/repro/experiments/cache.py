@@ -60,14 +60,17 @@ class ExperimentCache:
     def spec_svm(self, app_name: str, features,
                  nodes: Optional[int] = None,
                  config: Optional[MachineConfig] = None,
+                 telemetry_us: Optional[float] = None,
                  **params) -> CellSpec:
         """Cell for one SVM run.  ``config`` overrides the cache's
         machine entirely (fault sweeps); otherwise only ``nodes`` is
-        rescaled."""
+        rescaled.  ``telemetry_us`` attaches a TimeSeriesSampler at
+        that cadence (the summary rides the cached result)."""
         if config is None:
             config = self.config.scaled(nodes=nodes or self.config.nodes)
         return CellSpec(kind="svm", app=app_name, params=params,
-                        features=features, config=config)
+                        features=features, config=config,
+                        telemetry_us=telemetry_us)
 
     def spec_seq(self, app_name: str, **params) -> CellSpec:
         return CellSpec(kind="seq", app=app_name, params=params,

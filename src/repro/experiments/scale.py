@@ -24,8 +24,8 @@ from ..svm import BASE, GENIMA
 from .cache import CACHE, ExperimentCache
 from .reporting import format_table
 
-__all__ = ["SCALE_NODES", "SCALE_TOPOLOGIES", "scale_params",
-           "compute_scale", "render_scale"]
+__all__ = ["SCALE_NODES", "SCALE_TOPOLOGIES", "SCALE_TELEMETRY_US",
+           "scale_params", "compute_scale", "render_scale"]
 
 #: default node counts of the scaling sweep.
 SCALE_NODES = (4, 16, 64, 256, 1024)
@@ -67,14 +67,30 @@ def scale_params(app_name: str, nprocs: int, seed: int = 0) -> Dict:
                      "(one of KVStore, ParamServer, OpenLoop)")
 
 
+#: default telemetry sampling cadence of the scale sweep (us of sim
+#: time per sample).  The sampler is an engine-hook observer, so the
+#: sampled cells' schedules — and times — match unsampled runs.
+SCALE_TELEMETRY_US = 1000.0
+
+
 def compute_scale(app_name: str = "KVStore",
                   node_counts: Sequence[int] = SCALE_NODES,
                   topologies: Sequence[str] = SCALE_TOPOLOGIES,
                   feature_sets: Iterable = (BASE, GENIMA),
                   procs_per_node: int = 1,
                   cache: Optional[ExperimentCache] = None,
-                  seed: int = 0) -> List[Dict]:
-    """The scaling grid: one row per (topology, protocol, nodes)."""
+                  seed: int = 0,
+                  telemetry_us: Optional[float] = SCALE_TELEMETRY_US
+                  ) -> List[Dict]:
+    """The scaling grid: one row per (topology, protocol, nodes).
+
+    With ``telemetry_us`` set (the default) every SVM cell runs with a
+    :class:`~repro.obs.TimeSeriesSampler` attached, and each row
+    carries a ``telemetry`` digest — peak NI queue depth plus
+    queue-depth and page-fault skew ratios — so the scaling curves
+    explain *where* capacity went, not just that it did.
+    """
+    from ..obs import telemetry_brief
     cache = cache or CACHE
     feature_sets = list(feature_sets)
     seq_spec = cache.spec_seq(app_name, **scale_params(app_name, 1,
@@ -89,6 +105,7 @@ def compute_scale(app_name: str = "KVStore",
                     topology=topo)
                 spec = cache.spec_svm(
                     app_name, feats, config=config,
+                    telemetry_us=telemetry_us,
                     **scale_params(app_name, config.total_procs,
                                    seed=seed))
                 specs.append(spec)
@@ -107,14 +124,29 @@ def compute_scale(app_name: str = "KVStore",
             "time_us": result.time_us,
             "seq_time_us": seq.time_us,
             "speedup": seq.time_us / result.time_us,
+            "telemetry": telemetry_brief(result.telemetry),
         })
     return rows
 
 
+def _skew_label(row: Optional[Dict]) -> str:
+    """Compact queue-skew annotation for one scale row ("-" when the
+    cell was unsampled; "inf" when the median node is idle)."""
+    telemetry = (row or {}).get("telemetry")
+    if not telemetry:
+        return "-"
+    ratio = telemetry.get("queue_skew")
+    if ratio is None:
+        return "inf"
+    return f"{ratio:.1f}x"
+
+
 def render_scale(rows: List[Dict], app_name: str) -> str:
-    """One table per topology: nodes down, protocols across."""
+    """One table per topology: nodes down, protocols across (speedup
+    plus the telemetry queue-skew digest when cells were sampled)."""
     topologies = sorted({r["topology"] for r in rows})
     protocols = list(dict.fromkeys(r["protocol"] for r in rows))
+    sampled = any(r.get("telemetry") for r in rows)
     blocks = []
     for topo in topologies:
         sub = [r for r in rows if r["topology"] == topo]
@@ -126,10 +158,16 @@ def render_scale(rows: List[Dict], app_name: str) -> str:
             for proto in protocols:
                 r = cell.get((n, proto))
                 entry.append(r["speedup"] if r else float("nan"))
+                if sampled:
+                    entry.append(_skew_label(r))
             table_rows.append(tuple(entry))
+        header = ["nodes"]
+        for p in protocols:
+            header.append(f"{p} speedup")
+            if sampled:
+                header.append(f"{p} q-skew")
         blocks.append(format_table(
-            ["nodes"] + [f"{p} speedup" for p in protocols],
-            table_rows,
+            header, table_rows,
             title=f"Scaling: {app_name} on {topo} "
                   f"(fixed total work)"))
     return "\n\n".join(blocks)

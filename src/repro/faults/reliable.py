@@ -256,6 +256,21 @@ class ReliabilityLayer:
     #: counter name -> backing attribute; per-key consumers (the
     #: Machine's ``retx.*`` gauges) read one attribute instead of
     #: rebuilding the whole dict per key per metrics snapshot.
+    def outstanding_by_node(self) -> list:
+        """Unacked send states per source node, in one pass over the
+        sender table (the telemetry vector probe: O(sends) per sample
+        instead of O(nodes x sends) with per-node closures)."""
+        out = [0] * self.config.nodes
+        for (src, _msg, _dst), state in self._sends.items():
+            if not state.acked:
+                out[src] += 1
+        return out
+
+    def register_probes(self, sampler) -> None:
+        """Join a TimeSeriesSampler (repro.obs.timeseries)."""
+        sampler.probe_vector("retx.outstanding", "gauge",
+                             self.outstanding_by_node)
+
     COUNTER_ATTRS = {"retransmits": "retransmits",
                      "retx_timeouts": "retx_timeouts",
                      "acks_sent": "acks_sent",

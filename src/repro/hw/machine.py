@@ -76,6 +76,30 @@ class Machine:
                 metrics.gauge(f"{prefix}.{key}",
                               lambda la=layer, a=attr: getattr(la, a))
 
+    def register_probes(self, sampler) -> None:
+        """Join a TimeSeriesSampler (repro.obs.timeseries): per-node
+        NI queue depth and interrupt counters, machine-wide in-flight
+        packets, and — when faults are armed — per-node outstanding
+        retransmit state.  Called from the sampler's ``attach``; an
+        unsampled machine never pays for this."""
+        for nic in self.nics:
+            nic.register_probes(sampler)
+        for node in self.nodes:
+            sampler.probe_counter(
+                "node.interrupts", node.node_id,
+                lambda n=node: n.interrupts_taken)
+        sampler.probe_gauge("net.in_flight", None, self.packets_in_flight)
+        if self.reliability is not None:
+            self.reliability.register_probes(sampler)
+
+    def packets_in_flight(self) -> int:
+        """Packets injected into the fabric whose last word has not
+        yet arrived at the receiving NI (an O(nodes) fold over existing
+        counters: the delivery hot path stays untouched)."""
+        sent = sum(nic.packets_sent for nic in self.nics)
+        arrived = sum(nic.packets_received for nic in self.nics)
+        return max(sent - arrived, 0)
+
     def attach_tracer(self, tracer) -> None:
         """Point the network's route tracing and the fault/retransmit
         layers at ``tracer`` (crossbar fabrics emit no route records,

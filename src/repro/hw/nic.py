@@ -546,6 +546,22 @@ class NIC:
 
             self.pci.transfer_cb(pkt.size, delivered)
 
+    def queue_depth(self) -> int:
+        """Packets/descriptors queued at this NI right now, across all
+        three stages (post, inject, receive) — the telemetry pipeline's
+        per-node backpressure probe.  Mode-agnostic: macro drivers keep
+        their inject/receive work in plain deques instead of Stores."""
+        depth = len(self.post_queue)
+        if self._macro:
+            return depth + len(self._m_inject_q) + len(self._m_recv_q)
+        return depth + len(self.out_queue) + len(self.in_queue)
+
+    def register_probes(self, sampler) -> None:
+        """Join a TimeSeriesSampler (repro.obs.timeseries): sampled
+        per-node levels to complement the end-of-run gauges."""
+        sampler.probe_gauge("ni.queue_depth", self.node_id,
+                            self.queue_depth)
+
     def register_metrics(self, metrics) -> None:
         """Join a MetricsRegistry: counters as gauges, plus the
         NIC-owned latency RunningStat (bound, not reset)."""

@@ -1,24 +1,37 @@
 """Observability layer: metrics registry, time-sliced profiling,
-report rendering, and the time-accounting invariant."""
+sim-time telemetry sampling, report rendering, and the
+time-accounting invariant."""
 
+from .dash import render_dash, render_dash_html, sparkline
 from .metrics import Counter, Gauge, MetricsRegistry
+from .openmetrics import render_openmetrics
 from .profiler import (PROFILE_SCHEMA, STATIONS, TIME_TOLERANCE_US,
                        PhaseProfiler, Profile, check_time_accounting)
 from .report import (render_profiles, render_profiles_html,
                      render_timeline, render_utilization)
+from .timeseries import (TS_SCHEMA, LogHistogram, TimeSeriesSampler,
+                         telemetry_brief)
 
 __all__ = [
     "Counter",
     "Gauge",
+    "LogHistogram",
     "MetricsRegistry",
     "PhaseProfiler",
     "Profile",
     "PROFILE_SCHEMA",
     "STATIONS",
     "TIME_TOLERANCE_US",
+    "TS_SCHEMA",
+    "TimeSeriesSampler",
     "check_time_accounting",
+    "render_dash",
+    "render_dash_html",
+    "render_openmetrics",
     "render_profiles",
     "render_profiles_html",
     "render_timeline",
     "render_utilization",
+    "sparkline",
+    "telemetry_brief",
 ]

@@ -178,8 +178,9 @@ class MetricsRegistry:
         """All instruments as plain JSON-serializable values.
 
         Counters and gauges flatten to numbers; RunningStats to a
-        ``{count, total, mean, min, max}`` dict (min/max are None while
-        empty, never ``inf``).
+        ``{count, total, mean, min, max, variance, stdev}`` dict
+        (min/max are None while empty, never ``inf``; variance/stdev
+        are the streaming Welford values, 0.0 below two samples).
         """
         out: Dict[str, object] = {}
         for name, instrument in self:
@@ -194,5 +195,7 @@ class MetricsRegistry:
                     "mean": instrument.mean,
                     "min": instrument.min if instrument.count else None,
                     "max": instrument.max if instrument.count else None,
+                    "variance": instrument.variance,
+                    "stdev": instrument.stdev,
                 }
         return out

@@ -1,0 +1,188 @@
+"""OpenMetrics text exposition of registry snapshots and telemetry.
+
+``repro metrics --openmetrics`` renders a finished run's
+:meth:`~repro.obs.MetricsRegistry.snapshot` — and, when the run was
+sampled, its :class:`~repro.obs.TimeSeriesSampler` summary — in the
+OpenMetrics text format, so the simulated cluster scrapes like a real
+one (PAPERS.md: "The NIC should be part of the OS").
+
+Determinism is part of the contract: families are emitted in sorted
+name order and label sets in sorted label order, so two identical runs
+produce byte-identical expositions regardless of registration order or
+``--jobs`` fan-out.  Registry names like ``nic.3.packets_sent``
+factor into one family per metric (``repro_nic_packets_sent``) with
+the numeric path component as a ``node`` label, which is what makes a
+1024-node snapshot a handful of families instead of 10k.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["render_openmetrics"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """A legal OpenMetrics metric-name fragment."""
+    out = _NAME_OK.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the OpenMetrics ABNF."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt(value) -> str:
+    """Canonical sample value: integers bare, floats via repr (the
+    shortest round-trip form, so expositions are deterministic)."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value == int(value) \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"'
+                     for k, v in sorted(pairs))
+    return "{" + inner + "}"
+
+
+def _split_name(name: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Registry name -> (family fragment, labels).
+
+    The first purely-numeric dotted component becomes the ``node``
+    label (``nic.3.packets_sent`` -> ``nic_packets_sent{node="3"}``);
+    everything else joins the family name.
+    """
+    parts = name.split(".")
+    labels: List[Tuple[str, str]] = []
+    kept = []
+    for part in parts:
+        if not labels and part.isdigit():
+            labels.append(("node", part))
+        else:
+            kept.append(part)
+    return "_".join(_sanitize(p) for p in kept), labels
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "lines")
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.lines: List[str] = []
+
+
+def _families_from_snapshot(snapshot: Dict[str, object],
+                            prefix: str) -> Dict[str, _Family]:
+    families: Dict[str, _Family] = {}
+
+    def fam(name: str, kind: str, help_text: str) -> _Family:
+        f = families.get(name)
+        if f is None:
+            f = families[name] = _Family(name, kind, help_text)
+        return f
+
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        fragment, labels = _split_name(name)
+        full = f"{prefix}_{fragment}"
+        if isinstance(value, dict):
+            # A RunningStat snapshot: expose as an OpenMetrics summary
+            # (count/sum) plus min/max/stdev gauges.
+            f = fam(full, "summary", f"registry stat {fragment}")
+            f.lines.append(f"{full}_count{_labels(labels)} "
+                           f"{_fmt(value.get('count', 0))}")
+            f.lines.append(f"{full}_sum{_labels(labels)} "
+                           f"{_fmt(value.get('total', 0.0))}")
+            for part in ("min", "max", "stdev"):
+                g = fam(f"{full}_{part}", "gauge",
+                        f"registry stat {fragment} {part}")
+                g.lines.append(f"{full}_{part}{_labels(labels)} "
+                               f"{_fmt(value.get(part))}")
+        else:
+            f = fam(full, "gauge", f"registry metric {fragment}")
+            f.lines.append(f"{full}{_labels(labels)} {_fmt(value)}")
+    return families
+
+
+def _families_from_telemetry(summary: dict,
+                             prefix: str) -> Dict[str, _Family]:
+    families: Dict[str, _Family] = {}
+    metrics = summary.get("metrics", {})
+    for metric in sorted(metrics):
+        entry = metrics[metric]
+        base = f"{prefix}_ts_{_sanitize(metric.replace('.', '_'))}"
+        hist = entry.get("hist", {})
+        f = _Family(base, "histogram",
+                    f"sampled telemetry {metric} "
+                    f"({entry.get('kind', 'gauge')}, log2 buckets)")
+        cumulative = 0
+        for le, count in hist.get("buckets", []):
+            cumulative += count
+            f.lines.append(f'{base}_bucket{{le="{_fmt(le)}"}} '
+                           f"{cumulative}")
+        f.lines.append(f'{base}_bucket{{le="+Inf"}} '
+                       f"{_fmt(hist.get('count', 0))}")
+        f.lines.append(f"{base}_count {_fmt(hist.get('count', 0))}")
+        agg = entry.get("agg", {})
+        total = agg.get("mean", 0.0) * agg.get("count", 0)
+        f.lines.append(f"{base}_sum {_fmt(total)}")
+        families[base] = f
+        peak = _Family(f"{base}_peak", "gauge",
+                       f"peak sampled {metric} (node label = argmax)")
+        peak.lines.append(
+            f'{base}_peak{{node="{agg.get("peak_node", -1)}"}} '
+            f"{_fmt(agg.get('peak', 0.0))}")
+        families[peak.name] = peak
+        skew = entry.get("skew")
+        if skew is not None:
+            s = _Family(f"{base}_skew", "gauge",
+                        f"max/median per-node skew of {metric}")
+            s.lines.append(f"{base}_skew {_fmt(skew.get('ratio'))}")
+            families[s.name] = s
+    return families
+
+
+def render_openmetrics(snapshot: Optional[Dict[str, object]] = None,
+                       telemetry: Optional[dict] = None,
+                       prefix: str = "repro") -> str:
+    """The OpenMetrics text exposition (ends with ``# EOF``).
+
+    ``snapshot`` is a :meth:`MetricsRegistry.snapshot` mapping;
+    ``telemetry`` a :meth:`TimeSeriesSampler.summary` dict.  Either
+    may be None; families render in sorted order either way.
+    """
+    families: Dict[str, _Family] = {}
+    if snapshot:
+        families.update(_families_from_snapshot(snapshot, prefix))
+    if telemetry:
+        families.update(_families_from_telemetry(telemetry, prefix))
+    out: List[str] = []
+    for name in sorted(families):
+        f = families[name]
+        out.append(f"# HELP {f.name} {f.help}")
+        out.append(f"# TYPE {f.name} {f.kind}")
+        # Lines stay in append order: builders emit them sorted by
+        # source name already, and histogram buckets must keep their
+        # ascending-le order (lexical sorting would put +Inf first).
+        out.extend(f.lines)
+    out.append("# EOF")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,495 @@
+"""Sim-time telemetry: sampled time series over a running machine.
+
+The paper's argument is about *when* overhead happens — asynchronous
+protocol processing interrupting compute — but every instrument in
+:mod:`repro.obs.metrics` is an end-of-run snapshot.  At datacenter
+scale the aggregate actively hides the story: one hot KV shard can
+saturate a single node's NI while 1023 idle nodes average it away.
+
+:class:`TimeSeriesSampler` closes the gap without perturbing a single
+event.  It rides :meth:`repro.sim.Simulator.add_slice_hook` (boundary
+crossings fire lazily; no heap events), polls registered *probes* —
+per-node NI queue depth, in-flight packets, outstanding retransmits,
+lock wait depth, page-fault and invalidation counters — and folds each
+reading into
+
+* a per-``(metric, node)`` :class:`LogHistogram` plus
+  :class:`~repro.sim.RunningStat` (O(buckets) memory per node, so a
+  1024-node machine stays cheap), and
+* one columnar per-metric series (``array``-backed, the trace-sink
+  idiom): per-slice sum, max, and argmax node, bounded by decimation —
+  when the series fills, every second point is dropped and the keep
+  stride doubles, so memory is O(max_samples) for any run length.
+
+On top of the series sit the scale-aware reductions:
+:meth:`~TimeSeriesSampler.summary` produces per-metric rollups, top-k
+hot-node tables and a max/median skew report that makes a hot shard
+visible in one line.
+
+Sampling is strictly opt-in: a run without a sampler attached has no
+hook, takes no samples and stays byte-identical to pre-telemetry
+builds (``tests/test_golden.py`` pins this).  With a tracer handed to
+the constructor the sampler additionally emits ``ts.sample`` /
+``ts.rollup`` records (declared in :mod:`repro.sim.trace_schema`) so
+the offline tooling can join telemetry with the protocol event stream.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim import RunningStat
+
+__all__ = ["LogHistogram", "TimeSeriesSampler", "TS_SCHEMA",
+           "telemetry_brief"]
+
+#: telemetry summary schema version (bump on breaking change).
+TS_SCHEMA = 1
+
+
+class LogHistogram:
+    """Streaming histogram over power-of-two buckets.
+
+    Bucket ``e`` counts values in ``[2**(e-1), 2**e)`` (half-open, via
+    ``math.frexp``); non-positive values land in a dedicated zero
+    bucket.  Memory is O(distinct exponents) — ~64 buckets cover the
+    full double range — so one histogram per (node, metric) stays
+    affordable at 1024 nodes where a reservoir of raw samples would
+    not.
+    """
+
+    __slots__ = ("count", "zeros", "_buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.zeros = 0
+        self._buckets: Dict[int, int] = {}
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        _, exp = math.frexp(value)
+        self._buckets[exp] = self._buckets.get(exp, 0) + 1
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into self (cross-node aggregation)."""
+        self.count += other.count
+        self.zeros += other.zeros
+        for exp, n in other._buckets.items():
+            self._buckets[exp] = self._buckets.get(exp, 0) + n
+        return self
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, count)`` pairs, ascending, zeros first as
+        ``(0.0, zeros)`` when present."""
+        out: List[Tuple[float, int]] = []
+        if self.zeros:
+            out.append((0.0, self.zeros))
+        out.extend((float(2 ** exp), self._buckets[exp])
+                   for exp in sorted(self._buckets))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile.
+
+        An approximation by construction (within one power of two);
+        0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for le, n in self.buckets():
+            seen += n
+            if seen >= target:
+                return le
+        return self.buckets()[-1][0]
+
+    def to_dict(self) -> dict:
+        return {"count": self.count,
+                "buckets": [[le, n] for le, n in self.buckets()]}
+
+    def __repr__(self) -> str:
+        return (f"LogHistogram(count={self.count}, "
+                f"buckets={len(self._buckets) + bool(self.zeros)})")
+
+
+class _NodeTrack:
+    """Per-(metric, node) accumulators: O(buckets), never O(samples)."""
+
+    __slots__ = ("hist", "stat", "last_raw")
+
+    def __init__(self):
+        self.hist = LogHistogram()
+        self.stat = RunningStat()
+        self.last_raw: Optional[float] = None
+
+
+class _Series:
+    """One metric: its probes, per-node tracks and columnar series."""
+
+    __slots__ = ("name", "kind", "probes", "vector", "tracks",
+                 "sum_arr", "max_arr", "argmax_arr")
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind                     # "gauge" | "counter"
+        #: scalar probes: (node, fn) pairs; node None == machine-wide.
+        self.probes: List[Tuple[Optional[int], Callable[[], float]]] = []
+        #: optional vector probe: fn() -> sequence of per-node values
+        #: (one pass over shared state instead of O(nodes) closures).
+        self.vector: Optional[Callable[[], Sequence[float]]] = None
+        self.tracks: Dict[Optional[int], _NodeTrack] = {}
+        self.sum_arr = array("d")
+        self.max_arr = array("d")
+        self.argmax_arr = array("l")
+
+    def track(self, node: Optional[int]) -> _NodeTrack:
+        t = self.tracks.get(node)
+        if t is None:
+            t = self.tracks[node] = _NodeTrack()
+        return t
+
+
+class TimeSeriesSampler:
+    """Samples registered probes at fixed sim-time boundaries.
+
+    Attach to an SVM backend before running, through the runner::
+
+        sampler = TimeSeriesSampler(cadence_us=1000.0)
+        result = run_svm(app, GENIMA, telemetry=sampler)
+        print(result.telemetry["metrics"]["ni.queue_depth"]["skew"])
+
+    ``cadence_us`` is the sampling slice width; ``max_samples`` bounds
+    the columnar series (decimate-by-2 on overflow); ``top_k`` sizes
+    the hot-node tables; ``tracer`` (optional) receives ``ts.*``
+    records for kept samples.  Probes register through
+    :meth:`probe_gauge` / :meth:`probe_counter` /
+    :meth:`probe_vector`, normally from the layers'
+    ``register_probes`` methods during :meth:`attach`.
+    """
+
+    def __init__(self, cadence_us: float = 1000.0,
+                 max_samples: int = 2048, top_k: int = 8,
+                 tracer=None):
+        if cadence_us <= 0:
+            raise ValueError(
+                f"cadence_us must be positive, got {cadence_us!r}")
+        if max_samples < 2:
+            raise ValueError(
+                f"max_samples must be >= 2, got {max_samples!r}")
+        self.cadence_us = cadence_us
+        self.max_samples = max_samples
+        self.top_k = top_k
+        self.tracer = tracer
+        self.times = array("d")
+        self._series: Dict[str, _Series] = {}
+        self._order: List[str] = []
+        self.sim = None
+        self.machine = None
+        self._hook = None
+        self._attached = False
+        self._stride = 1
+        self._tick = 0
+        self._t_attach = 0.0
+        self._t_final: Optional[float] = None
+
+    # ------------------------------------------------------------ probes
+
+    def _get_series(self, metric: str, kind: str) -> _Series:
+        s = self._series.get(metric)
+        if s is None:
+            s = self._series[metric] = _Series(metric, kind)
+            self._order.append(metric)
+        elif s.kind != kind:
+            raise ValueError(
+                f"metric {metric!r} already registered as {s.kind}")
+        return s
+
+    def probe_gauge(self, metric: str, node: Optional[int],
+                    fn: Callable[[], float]) -> None:
+        """Sample ``fn()`` as an instantaneous level (queue depth,
+        outstanding count).  ``node=None`` is a machine-wide probe."""
+        self._get_series(metric, "gauge").probes.append((node, fn))
+
+    def probe_counter(self, metric: str, node: Optional[int],
+                      fn: Callable[[], float]) -> None:
+        """Sample ``fn()`` as a cumulative counter: the series records
+        per-slice deltas, the summary the final totals."""
+        self._get_series(metric, "counter").probes.append((node, fn))
+
+    def probe_vector(self, metric: str, kind: str,
+                     fn: Callable[[], Sequence[float]]) -> None:
+        """Register one function returning per-node values (index ==
+        node id) in a single pass — for probes whose state is one
+        shared structure (lock wait queues) where per-node closures
+        would rescan it O(nodes) times per sample."""
+        if kind not in ("gauge", "counter"):
+            raise ValueError(f"kind must be gauge|counter, got {kind!r}")
+        series = self._get_series(metric, kind)
+        if series.vector is not None:
+            raise ValueError(f"metric {metric!r} already has a vector "
+                             "probe")
+        series.vector = fn
+
+    def metrics(self) -> Tuple[str, ...]:
+        return tuple(self._order)
+
+    # ------------------------------------------------------------ wiring
+
+    def attach(self, backend) -> "TimeSeriesSampler":
+        """Hook into a backend exposing ``machine`` (and optionally a
+        protocol); registers the machine and protocol probe sets."""
+        if self._attached:
+            raise RuntimeError("sampler already attached (samplers "
+                               "are single-use: one per run)")
+        self._attached = True
+        self.machine = backend.machine
+        self.sim = self.machine.sim
+        self._t_attach = self.sim.now
+        self.machine.register_probes(self)
+        protocol = getattr(backend, "protocol", None)
+        if protocol is not None:
+            protocol.register_probes(self)
+        self._hook = self.sim.add_slice_hook(self.cadence_us,
+                                             self._sample)
+        return self
+
+    def finalize(self) -> None:
+        """Take the trailing partial slice and detach the hook."""
+        if self._hook is None:
+            return
+        last = self.times[-1] if self.times else self._t_attach
+        if self.sim.now > last:
+            self._sample(self.sim.now, force=True)
+        self._t_final = self.sim.now
+        self.sim.remove_slice_hook(self._hook)
+        self._hook = None
+        if self.tracer is not None:
+            for metric in self._order:
+                roll = self._rollup(self._series[metric])
+                self.tracer.record(
+                    self.sim.now, "ts.rollup", metric=metric,
+                    nodes=roll["nodes"], count=roll["count"],
+                    mean=roll["mean"], peak=roll["peak"],
+                    peak_node=roll["peak_node"])
+
+    # ---------------------------------------------------------- sampling
+
+    def _sample(self, t: float, force: bool = False) -> None:
+        keep = force or (self._tick % self._stride == 0)
+        self._tick += 1
+        if keep:
+            self.times.append(t)
+        for metric in self._order:
+            series = self._series[metric]
+            counter = series.kind == "counter"
+            ssum = 0.0
+            smax = -math.inf
+            argmax = -1
+            readings: List[Tuple[Optional[int], float]] = []
+            if series.vector is not None:
+                readings.extend(enumerate(series.vector()))
+            for node, fn in series.probes:
+                readings.append((node, fn()))
+            for node, raw in readings:
+                track = series.track(node)
+                if counter:
+                    prev = track.last_raw or 0.0
+                    track.last_raw = raw
+                    value = raw - prev
+                else:
+                    track.last_raw = raw
+                    value = raw
+                track.hist.add(value)
+                track.stat.add(value)
+                ssum += value
+                if value > smax:
+                    smax = value
+                    argmax = node if node is not None else -1
+            if not readings:
+                smax = 0.0
+            if keep:
+                series.sum_arr.append(ssum)
+                series.max_arr.append(smax)
+                series.argmax_arr.append(argmax)
+                if self.tracer is not None:
+                    self.tracer.record(t, "ts.sample", metric=metric,
+                                       node=argmax, value=smax)
+        if keep and len(self.times) >= self.max_samples:
+            self._decimate()
+
+    def _decimate(self) -> None:
+        """Drop every second kept sample and double the keep stride:
+        the series always spans the whole run at bounded memory."""
+        self.times = self.times[::2]
+        for series in self._series.values():
+            series.sum_arr = series.sum_arr[::2]
+            series.max_arr = series.max_arr[::2]
+            series.argmax_arr = series.argmax_arr[::2]
+        self._stride *= 2
+
+    # --------------------------------------------------------- reductions
+
+    @staticmethod
+    def _rank_value(series: _Series, track: _NodeTrack) -> float:
+        """What a node is ranked by: counters by total accumulation,
+        gauges by time-averaged level."""
+        if series.kind == "counter":
+            return track.stat.total
+        return track.stat.mean
+
+    def _per_node(self, series: _Series) -> List[Tuple[int, float]]:
+        return sorted(
+            ((node, self._rank_value(series, track))
+             for node, track in series.tracks.items()
+             if node is not None),
+            key=lambda kv: (-kv[1], kv[0]))
+
+    def top_nodes(self, metric: str,
+                  k: Optional[int] = None) -> List[Tuple[int, float]]:
+        """The k hottest nodes of ``metric`` as (node, value), ranked
+        by total (counters) or mean level (gauges)."""
+        series = self._series[metric]
+        return self._per_node(series)[:k if k is not None else self.top_k]
+
+    def skew(self, metric: str) -> dict:
+        """Max/median skew across nodes: the one-line hot-shard
+        detector.  ``ratio`` is None when the median is zero (a single
+        active node among idle ones — maximal skew)."""
+        values = sorted(v for _, v in self._per_node(
+            self._series[metric]))
+        if not values:
+            return {"max": 0.0, "median": 0.0, "ratio": None}
+        n = len(values)
+        median = (values[n // 2] if n % 2
+                  else (values[n // 2 - 1] + values[n // 2]) / 2.0)
+        peak = values[-1]
+        ratio = peak / median if median > 0 else None
+        return {"max": peak, "median": median, "ratio": ratio}
+
+    def merged_hist(self, metric: str) -> LogHistogram:
+        """All nodes' histograms folded into one."""
+        out = LogHistogram()
+        for track in self._series[metric].tracks.values():
+            out.merge(track.hist)
+        return out
+
+    def merged_stat(self, metric: str) -> RunningStat:
+        out = RunningStat()
+        for track in self._series[metric].tracks.values():
+            out = out.merge(track.stat)
+        return out
+
+    def series(self, metric: str
+               ) -> Tuple[List[float], List[float], List[float],
+                          List[int]]:
+        """The kept columnar series of ``metric``:
+        ``(times, sums, maxima, argmax_nodes)``."""
+        s = self._series[metric]
+        return (list(self.times), list(s.sum_arr), list(s.max_arr),
+                list(s.argmax_arr))
+
+    def _rollup(self, series: _Series) -> dict:
+        stat = RunningStat()
+        peak = 0.0
+        peak_node = -1
+        for node, track in sorted(
+                series.tracks.items(),
+                key=lambda kv: (kv[0] is None, kv[0])):
+            stat = stat.merge(track.stat)
+            if track.stat.count and track.stat.max > peak:
+                peak = track.stat.max
+                peak_node = node if node is not None else -1
+        nodes = sum(1 for n in series.tracks if n is not None)
+        return {
+            "nodes": nodes,
+            "count": stat.count,
+            "mean": stat.mean,
+            "stdev": stat.stdev,
+            "peak": peak,
+            "peak_node": peak_node,
+        }
+
+    # ----------------------------------------------------------- summary
+
+    def summary(self) -> dict:
+        """Everything JSON-serializable: per-metric rollups, top-k hot
+        nodes, skew, and the merged log-bucketed histogram.  This is
+        what lands in ``RunResult.telemetry`` and the run cache, so it
+        must round-trip losslessly through ``json.dumps``/``loads``."""
+        t_end = self._t_final if self._t_final is not None else (
+            self.sim.now if self.sim is not None else 0.0)
+        metrics = {}
+        for metric in self._order:
+            series = self._series[metric]
+            entry = {
+                "kind": series.kind,
+                "agg": self._rollup(series),
+                "hist": self.merged_hist(metric).to_dict(),
+            }
+            if any(n is not None for n in series.tracks):
+                entry["top"] = [[node, value] for node, value
+                                in self.top_nodes(metric)]
+                entry["skew"] = self.skew(metric)
+            metrics[metric] = entry
+        return {
+            "schema": TS_SCHEMA,
+            "cadence_us": self.cadence_us,
+            "stride": self._stride,
+            "samples": len(self.times),
+            "t0_us": self._t_attach,
+            "t1_us": t_end,
+            "metrics": metrics,
+        }
+
+    # ---------------------------------------------------------- perfetto
+
+    def counter_events(self, pid: int = 99) -> List[dict]:
+        """The kept series as Chrome/Perfetto counter tracks.
+
+        One ``ph: "C"`` track per metric carrying the per-slice
+        ``max`` and ``sum``, under a dedicated ``telemetry`` process
+        so counters render beside (not inside) the span rows from
+        :meth:`repro.sim.Tracer.to_chrome_trace`.
+        """
+        events: List[dict] = [{
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "telemetry"},
+        }]
+        for metric in self._order:
+            s = self._series[metric]
+            for i, t in enumerate(self.times):
+                events.append({
+                    "name": metric, "ph": "C", "ts": t, "pid": pid,
+                    "args": {"max": s.max_arr[i], "sum": s.sum_arr[i]},
+                })
+        return events
+
+    def merge_chrome_trace(self, trace_events: List[dict],
+                           pid: int = 99) -> List[dict]:
+        """Chrome-trace events plus this sampler's counter tracks."""
+        return list(trace_events) + self.counter_events(pid=pid)
+
+
+def telemetry_brief(summary: Optional[dict]) -> Optional[dict]:
+    """The one-line telemetry digest carried by ``repro scale`` rows:
+    peak NI queue depth plus the queue-depth and page-fault skew
+    ratios.  None in, None out (unsampled cells)."""
+    if not summary:
+        return None
+    metrics = summary.get("metrics", {})
+    queue = metrics.get("ni.queue_depth", {})
+    faults = metrics.get("svm.page_faults", {})
+    return {
+        "peak_queue_depth": queue.get("agg", {}).get("peak", 0.0),
+        "queue_skew": queue.get("skew", {}).get("ratio"),
+        "fault_skew": faults.get("skew", {}).get("ratio"),
+        "samples": summary.get("samples", 0),
+    }

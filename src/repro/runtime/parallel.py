@@ -183,6 +183,9 @@ class CellSpec:
     nprocs: Optional[int] = None      # origin cells
     slice_us: Optional[float] = None  # profile cells
     check: bool = False               # profile/critpath cells
+    #: svm cells: attach a TimeSeriesSampler at this cadence and store
+    #: its summary in the result (None == unsampled, the default).
+    telemetry_us: Optional[float] = None
 
     def digest(self, fingerprint: Optional[str] = None) -> str:
         """Content address of this cell under the current sources."""
@@ -214,7 +217,12 @@ def evaluate_cell(spec: CellSpec) -> dict:
     from .runner import run_hwdsm, run_sequential, run_svm
     app = _make_app(spec)
     if spec.kind == "svm":
-        result = run_svm(app, spec.features, config=spec.config)
+        telemetry = None
+        if spec.telemetry_us is not None:
+            from ..obs import TimeSeriesSampler
+            telemetry = TimeSeriesSampler(cadence_us=spec.telemetry_us)
+        result = run_svm(app, spec.features, config=spec.config,
+                         telemetry=telemetry)
         return {"kind": "svm", "result": encode_result(result)}
     if spec.kind == "seq":
         result = run_sequential(app, config=spec.config)
@@ -256,6 +264,7 @@ def encode_result(result: RunResult) -> dict:
         "stats": dict(result.stats),
         "monitor_small": result.monitor_small,
         "monitor_large": result.monitor_large,
+        "telemetry": result.telemetry,
     }
 
 
@@ -274,6 +283,7 @@ def decode_result(data: dict) -> RunResult:
         stats=dict(data["stats"]),
         monitor_small=data["monitor_small"],
         monitor_large=data["monitor_large"],
+        telemetry=data.get("telemetry"),
     )
 
 

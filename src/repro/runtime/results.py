@@ -27,6 +27,10 @@ class RunResult:
     stats: Dict[str, float] = field(default_factory=dict)
     monitor_small: Optional[dict] = None
     monitor_large: Optional[dict] = None
+    #: sampled telemetry summary (repro.obs.TimeSeriesSampler.summary)
+    #: when the run was sampled; None otherwise.  JSON-safe by
+    #: construction so it rides the run cache unchanged.
+    telemetry: Optional[dict] = None
 
     @property
     def mean_breakdown(self) -> TimeBuckets:

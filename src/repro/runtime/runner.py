@@ -20,12 +20,16 @@ __all__ = ["run_svm", "run_sequential", "run_hwdsm", "run_on_backend"]
 
 def run_on_backend(app, backend, system: str,
                    nprocs: Optional[int] = None,
-                   profiler=None) -> RunResult:
+                   profiler=None, telemetry=None) -> RunResult:
     """Execute ``app`` on ``backend`` and collect a RunResult.
 
     ``profiler`` (a :class:`repro.obs.PhaseProfiler`) samples per-rank
     buckets and station utilization at slice boundaries; only SVM
-    backends (those with a protocol) can be profiled.
+    backends (those with a protocol) can be profiled.  ``telemetry``
+    (a :class:`repro.obs.TimeSeriesSampler`) samples the registered
+    machine/protocol probes the same way; its summary lands in
+    ``RunResult.telemetry``.  Both are engine-hook observers: an
+    instrumented run's event schedule is byte-identical to a bare one.
     """
     nprocs = nprocs or backend.nprocs
     sim = backend.sim
@@ -42,6 +46,11 @@ def run_on_backend(app, backend, system: str,
             raise ValueError(
                 f"{system}: profiling requires an SVM backend")
         profiler.attach(backend)
+    if telemetry is not None:
+        if protocol is None:
+            raise ValueError(
+                f"{system}: telemetry sampling requires an SVM backend")
+        telemetry.attach(backend)
 
     def driver(rank):
         ctx = app.context(backend, rank, nprocs)
@@ -74,6 +83,8 @@ def run_on_backend(app, backend, system: str,
             f"processes finished (deadlock?)")
     if profiler is not None:
         profiler.finalize()
+    if telemetry is not None:
+        telemetry.finalize()
 
     result = RunResult(
         app=app.name,
@@ -91,6 +102,8 @@ def run_on_backend(app, backend, system: str,
     if monitor is not None:
         result.monitor_small = monitor.ratios("small").as_dict()
         result.monitor_large = monitor.ratios("large").as_dict()
+    if telemetry is not None:
+        result.telemetry = telemetry.summary()
     return result
 
 
@@ -147,20 +160,22 @@ def run_svm(app, features: ProtocolFeatures,
             config: Optional[MachineConfig] = None,
             with_monitor: bool = True, tracer=None,
             check: bool = False, profiler=None,
-            spans: bool = False) -> RunResult:
+            spans: bool = False, telemetry=None) -> RunResult:
     """Run ``app`` on the SVM cluster under one protocol variant.
 
     ``tracer`` records the protocol event stream (for the offline
     sanitizer); ``check`` installs the runtime invariant checker;
     ``profiler`` attaches a :class:`repro.obs.PhaseProfiler`;
     ``spans`` arms causal span recording into the tracer (required for
-    :mod:`repro.analysis.critpath`) without perturbing the schedule.
+    :mod:`repro.analysis.critpath`); ``telemetry`` attaches a
+    :class:`repro.obs.TimeSeriesSampler` — all without perturbing the
+    schedule.
     """
     backend = SVMBackend(config or MachineConfig(), features,
                          with_monitor=with_monitor, tracer=tracer,
                          check=check, spans=spans)
     return run_on_backend(app, backend, system=features.name,
-                          profiler=profiler)
+                          profiler=profiler, telemetry=telemetry)
 
 
 def run_sequential(app, config: Optional[MachineConfig] = None) -> RunResult:

@@ -176,6 +176,14 @@ TRACE_SCHEMA: Dict[str, TraceFamily] = _build(
     # ---- runtime time accounting (repro.runtime.runner) ----
     family("prof.rank", ["rank", "wall_us", "bucket_us", "residual_us"],
            doc="per-rank wall vs bucket-sum residual of a profiled run"),
+
+    # ---- sampled telemetry (repro.obs.timeseries) ----
+    family("ts.sample", ["metric", "node", "value"],
+           doc="telemetry slice sample: per-metric max over nodes "
+               "(node is the argmax; -1 for machine-wide probes)"),
+    family("ts.rollup",
+           ["metric", "nodes", "count", "mean", "peak", "peak_node"],
+           doc="end-of-run telemetry rollup for one sampled metric"),
 )
 
 

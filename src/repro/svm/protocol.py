@@ -124,6 +124,23 @@ class HLRCProtocol:
         if self.tracer is not None:
             self.tracer.record(self.sim.now, category, **fields)
 
+    def register_probes(self, sampler) -> None:
+        """Join a TimeSeriesSampler (repro.obs.timeseries): per-node
+        fault and invalidation counters (the sampler differences them
+        into per-slice rates) plus the active lock manager's wait-depth
+        vector."""
+        for table in self.tables:
+            sampler.probe_counter(
+                "svm.page_faults", table.node,
+                lambda t=table: t.read_faults + t.write_faults)
+            sampler.probe_counter(
+                "svm.invalidations", table.node,
+                lambda t=table: t.invalidations)
+        manager = self.ni_locks if self.ni_locks is not None \
+            else self.svm_locks
+        if manager is not None:
+            manager.register_probes(sampler)
+
     # ------------------------------------------------------------- regions
 
     def allocate(self, name: str, n_pages: int, home_policy: str = "blocked",

@@ -53,6 +53,43 @@ def test_scale_rejects_non_datacenter_app():
         main(["scale", "--app", "FFT"])
 
 
+def test_metrics_command_openmetrics(capsys):
+    assert main(["metrics", "--app", "Water-spatial",
+                 "--cadence-us", "500", "--openmetrics"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_ts_ni_queue_depth histogram" in out
+    assert out.endswith("# EOF\n")
+
+
+def test_metrics_command_json(capsys, tmp_path):
+    import json
+    path = tmp_path / "metrics.json"
+    assert main(["metrics", "--app", "Water-spatial",
+                 "--out", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["telemetry"]["samples"] > 0
+    assert "svm.page_fetches" in data["snapshot"]
+
+
+def test_dash_command(capsys, tmp_path):
+    import json
+    html = tmp_path / "dash.html"
+    trace = tmp_path / "dash_trace.json"
+    assert main(["dash", "--app", "KVStore", "--scale", "--nodes", "4",
+                 "--cadence-us", "500", "--html", str(html),
+                 "--perfetto", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "hot nodes" in out and "phase" in out
+    assert html.read_text().startswith("<!doctype html>")
+    events = json.loads(trace.read_text())
+    assert any(e.get("ph") == "C" for e in events)
+
+
+def test_dash_scale_rejects_paper_app():
+    with pytest.raises(SystemExit):
+        main(["dash", "--app", "FFT", "--scale"])
+
+
 def test_ladder_command(capsys):
     assert main(["ladder", "--app", "Water-spatial"]) == 0
     out = capsys.readouterr().out

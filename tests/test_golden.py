@@ -76,6 +76,24 @@ def test_default_crossbar_traces_byte_identical_to_pre_topology(
     assert digest == sha
 
 
+@pytest.mark.parametrize("app_cls,features,sha,time_us", GOLDEN_PINS,
+                         ids=["water-base", "barnes-genima"])
+def test_telemetry_sampling_does_not_perturb_the_schedule(
+        app_cls, features, sha, time_us):
+    """A TimeSeriesSampler (no tracer) rides slice hooks only: the
+    sampled run's trace and completion time must still match the
+    golden pins byte-for-byte."""
+    from repro.obs import TimeSeriesSampler
+    tracer = Tracer(capacity=None)
+    sampler = TimeSeriesSampler(cadence_us=500.0)
+    result = run_svm(app_cls(), features, tracer=tracer, spans=True,
+                     telemetry=sampler)
+    assert result.time_us == time_us
+    digest = hashlib.sha256(tracer.to_jsonl().encode()).hexdigest()
+    assert digest == sha
+    assert result.telemetry["samples"] > 0
+
+
 def test_spans_do_not_perturb_the_schedule():
     """Arming spans adds span.* records but changes nothing else:
     the non-span event stream and the run result stay identical."""

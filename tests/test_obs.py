@@ -115,6 +115,44 @@ def test_registry_counter_gauge_stat_snapshot():
     json.dumps(snap)  # everything must be serializable
 
 
+def test_snapshot_stat_variance_and_stdev():
+    reg = MetricsRegistry()
+    s = reg.stat("layer.lat")
+    for x in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        s.add(x)
+    snap = reg.snapshot()["layer.lat"]
+    # Sample (n-1) variance of the classic 8-value example.
+    assert snap["variance"] == pytest.approx(32.0 / 7.0)
+    assert snap["stdev"] == pytest.approx((32.0 / 7.0) ** 0.5)
+    json.dumps(snap)
+
+
+def test_snapshot_stat_variance_edge_cases():
+    reg = MetricsRegistry()
+    reg.stat("empty")
+    one = reg.stat("single")
+    one.add(42.0)
+    snap = reg.snapshot()
+    # Below two samples the Welford estimate is defined as 0.0 (not
+    # NaN), so snapshots always serialize cleanly.
+    assert snap["empty"]["variance"] == 0.0
+    assert snap["empty"]["stdev"] == 0.0
+    assert snap["single"]["variance"] == 0.0
+    assert snap["single"]["stdev"] == 0.0
+    json.dumps(snap)
+
+
+def test_merged_stat_variance_matches_direct():
+    left, right, direct = RunningStat(), RunningStat(), RunningStat()
+    xs = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0]
+    for i, x in enumerate(xs):
+        (left if i % 2 else right).add(x)
+        direct.add(x)
+    merged = left.merge(right)
+    assert merged.variance == pytest.approx(direct.variance)
+    assert merged.stdev == pytest.approx(direct.stdev)
+
+
 def test_registry_counter_rejects_negative_increment():
     reg = MetricsRegistry()
     with pytest.raises(ValueError):
