@@ -35,25 +35,32 @@ __all__ = ["ExperimentCache", "CACHE"]
 class ExperimentCache:
     """Lazily-computed ``(kind, app, params, features, config)`` grid.
 
-    ``jobs`` bounds the worker pool used for cache misses; ``store``
-    (a :class:`~repro.runtime.parallel.ResultStore`) makes the cache
+    ``jobs`` bounds the worker pool used for cache misses (clamped to
+    the CPU count unless ``jobs_force``); ``store`` (a
+    :class:`~repro.runtime.parallel.ResultStore`) makes the cache
     persistent.  Both default off, which reproduces the old in-process
-    memo exactly.
+    memo exactly.  ``executor`` replaces the whole evaluation engine —
+    anything with ``map(specs) -> {digest: obj}`` — which is how grids
+    route through a `repro serve` daemon
+    (:class:`~repro.serve.RemoteExecutor`) without the drivers
+    changing at all.
     """
 
     def __init__(self, config: Optional[MachineConfig] = None,
-                 jobs: int = 1, store: Optional[ResultStore] = None):
+                 jobs: int = 1, store: Optional[ResultStore] = None,
+                 jobs_force: bool = False, executor=None):
         self.config = config or MachineConfig()
-        self.executor = GridExecutor(jobs=jobs, store=store)
+        self.executor = executor if executor is not None else \
+            GridExecutor(jobs=jobs, store=store, jobs_force=jobs_force)
         self._results: Dict[str, RunResult] = {}
 
     @property
     def jobs(self) -> int:
-        return self.executor.jobs
+        return getattr(self.executor, "jobs", 1)
 
     @property
     def store(self) -> Optional[ResultStore]:
-        return self.executor.store
+        return getattr(self.executor, "store", None)
 
     # ------------------------------------------------------------- specs
 

@@ -45,6 +45,7 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -64,7 +65,9 @@ __all__ = [
     "encode_result",
     "decode_result",
     "decode_payload",
+    "make_envelope",
     "ResultStore",
+    "GridPlan",
     "GridExecutor",
 ]
 
@@ -310,6 +313,22 @@ def decode_payload(payload: dict):
     raise ValueError(f"unknown payload kind {kind!r}")
 
 
+def make_envelope(spec: CellSpec, payload: dict,
+                  fingerprint: Optional[str] = None) -> dict:
+    """The store envelope for one evaluated cell.
+
+    One shape for every writer — the in-process executor, pool
+    workers' parents, and the serve daemon all persist exactly this,
+    so any of them can read any other's entries.
+    """
+    return {
+        "schema": STORE_SCHEMA,
+        "fingerprint": fingerprint or code_fingerprint(),
+        "cell": canonical(spec),
+        "payload": payload,
+    }
+
+
 # ------------------------------------------------------------------ store
 
 
@@ -321,7 +340,21 @@ class ResultStore:
     corruption by reporting a miss.  The root resolves, in order:
     explicit ``root`` argument, ``$REPRO_CACHE_DIR``, then
     ``~/.cache/repro``.
+
+    **Concurrent writers.**  The store is content-addressed over a
+    deterministic simulator, so two writers racing on one digest are
+    by construction writing identical bytes — the atomic replace
+    already makes the race harmless.  :meth:`store` still takes a
+    per-digest ``O_CREAT|O_EXCL`` lockfile claim first, so that when a
+    serve daemon and ad-hoc CLI runs share one ``--cache-dir`` only
+    one of them spends the serialization work; the loser just skips
+    the write (the winner's bytes would have been its own).  A claim
+    older than ``lock_stale_s`` is presumed orphaned (killed writer)
+    and broken.
     """
+
+    #: a lockfile older than this is an orphan and may be broken.
+    lock_stale_s: float = 300.0
 
     def __init__(self, root: Optional[os.PathLike] = None):
         if root is None:
@@ -358,13 +391,59 @@ class ResultStore:
             return None
         return envelope
 
-    def store(self, digest: str, envelope: dict) -> None:
-        """Atomically persist ``envelope`` under ``digest``."""
+    def lock_path(self, digest: str) -> Path:
+        return self.version_dir / digest[:2] / f"{digest}.lock"
+
+    def _claim(self, lock: Path) -> Optional[int]:
+        """Take the per-digest write claim, or return None if another
+        live writer holds it.  A stale claim (older than
+        ``lock_stale_s``) is broken once and re-tried."""
+        for attempt in (0, 1):
+            try:
+                return os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt:
+                    return None
+                try:
+                    # Wall time here ages an OS lockfile, not simulated
+                    # state; mtimes are wall-clock by nature.
+                    age = time.time() - os.stat(lock).st_mtime  # repro: noqa[wall-clock] — lockfile staleness is wall-clock by nature
+                except OSError:
+                    continue  # holder just released it: retry the claim
+                if age < self.lock_stale_s:
+                    return None
+                try:
+                    os.unlink(lock)  # break the orphaned claim
+                except OSError:
+                    pass
+        return None
+
+    def store(self, digest: str, envelope: dict) -> bool:
+        """Atomically persist ``envelope`` under ``digest``.
+
+        Returns True when this call wrote the entry, False when a
+        concurrent writer held the per-digest claim (in which case the
+        entry is theirs to finish — deterministic content addressing
+        makes their bytes identical to ours, so skipping is safe and
+        cheaper than queueing).
+        """
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(envelope, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        lock = self.lock_path(digest)
+        fd = self._claim(lock)
+        if fd is None:
+            return False
+        try:
+            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+            tmp.write_text(json.dumps(envelope, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+            return True
+        finally:
+            os.close(fd)
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
 
     def entries(self) -> Iterator[Tuple[str, dict]]:
         """Iterate ``(digest, envelope)`` over all readable entries,
@@ -389,23 +468,67 @@ class ResultStore:
 # --------------------------------------------------------------- executor
 
 
+@dataclass
+class GridPlan:
+    """The submit half of a grid evaluation: deduplicated digests with
+    warm hits already decoded and the misses still to compute.
+
+    Produced by :meth:`GridExecutor.submit`; consumed (exactly once)
+    by :meth:`GridExecutor.collect`.  Splitting the two lets a caller
+    that owns its own evaluation loop — the serve daemon's
+    single-flight scheduler — reuse the planning/lookup/persist logic
+    while scheduling the misses itself.
+    """
+
+    fingerprint: str
+    #: unique digests in first-seen submission order.
+    order: List[str]
+    #: digest -> the (first) spec that produced it.
+    specs: Dict[str, CellSpec]
+    #: digest -> decoded live object, for cells the store already had.
+    hits: Dict[str, object]
+    #: digests still to evaluate, in submission order.
+    misses: List[str]
+
+
 class GridExecutor:
     """Evaluate grid cells concurrently, through the store when given.
 
-    ``map`` is the whole API: specs in, ``{digest: live object}`` out.
-    Deduplication, cache lookup, pool fan-out, persistence and
-    decoding all happen here, and all of it is order-independent:
-    the result dict is keyed by content digest, and every value
-    passes through the same JSON round trip regardless of where it
-    was computed.
+    ``map`` is the main API: specs in, ``{digest: live object}`` out.
+    It is the composition of two halves — :meth:`submit` (dedup by
+    digest + store lookup, no evaluation) and :meth:`collect`
+    (evaluate the misses, persist, decode) — exposed separately so
+    long-lived callers can interleave their own scheduling between
+    them.  All of it is order-independent: the result dict is keyed
+    by content digest, and every value passes through the same JSON
+    round trip regardless of where it was computed.
+
+    ``jobs`` is clamped to the host's CPU count unless ``jobs_force``
+    is set: on an oversubscribed box the extra spawn workers only add
+    scheduling overhead (BENCH_grid's ``cold_jobs4`` on a 1-CPU host
+    regressed to 0.83x), so asking for more workers than cores is
+    almost always a mistake.  ``requested_jobs`` keeps the caller's
+    original ask so benchmarks can report oversubscription honestly.
     """
 
     def __init__(self, jobs: int = 1,
-                 store: Optional[ResultStore] = None):
-        self.jobs = max(1, int(jobs))
+                 store: Optional[ResultStore] = None,
+                 jobs_force: bool = False):
+        self.requested_jobs = max(1, int(jobs))
+        cap = os.cpu_count() or 1
+        self.jobs = (self.requested_jobs if jobs_force
+                     else min(self.requested_jobs, cap))
         self.store = store
 
     def map(self, specs: Iterable[CellSpec]) -> Dict[str, object]:
+        return self.collect(self.submit(specs))
+
+    def submit(self, specs: Iterable[CellSpec]) -> GridPlan:
+        """Dedup ``specs`` by digest and resolve warm store hits.
+
+        Evaluates nothing; a corrupted store entry reads as a miss
+        (and will be healed by :meth:`collect`).
+        """
         fingerprint = code_fingerprint()
         order: List[str] = []
         by_digest: Dict[str, CellSpec] = {}
@@ -415,29 +538,31 @@ class GridExecutor:
                 by_digest[digest] = spec
                 order.append(digest)
 
-        out: Dict[str, object] = {}
+        hits: Dict[str, object] = {}
         misses: List[str] = []
         for digest in order:
             envelope = (self.store.load(digest)
                         if self.store is not None else None)
             if envelope is not None:
                 try:
-                    out[digest] = decode_payload(envelope["payload"])
+                    hits[digest] = decode_payload(envelope["payload"])
                     continue
                 except (KeyError, TypeError, ValueError):
                     pass  # corrupted entry: fall through to recompute
             misses.append(digest)
+        return GridPlan(fingerprint=fingerprint, order=order,
+                        specs=by_digest, hits=hits, misses=misses)
 
-        if misses:
-            payloads = self._evaluate([by_digest[d] for d in misses])
-            for digest, payload in zip(misses, payloads):
+    def collect(self, plan: GridPlan) -> Dict[str, object]:
+        """Evaluate ``plan``'s misses, persist them, return the full
+        ``{digest: live object}`` map (hits included)."""
+        out = dict(plan.hits)
+        if plan.misses:
+            payloads = self._evaluate([plan.specs[d] for d in plan.misses])
+            for digest, payload in zip(plan.misses, payloads):
                 if self.store is not None:
-                    self.store.store(digest, {
-                        "schema": STORE_SCHEMA,
-                        "fingerprint": fingerprint,
-                        "cell": canonical(by_digest[digest]),
-                        "payload": payload,
-                    })
+                    self.store.store(digest, make_envelope(
+                        plan.specs[digest], payload, plan.fingerprint))
                 out[digest] = decode_payload(payload)
         return out
 
@@ -448,7 +573,7 @@ class GridExecutor:
         import multiprocessing
         context = multiprocessing.get_context("spawn")
         with context.Pool(processes=min(self.jobs, len(specs))) as pool:
-            # pool.map preserves input order, so the zip in map() pairs
-            # digests with their own payloads no matter which worker
-            # finished first.
+            # pool.map preserves input order, so the zip in collect()
+            # pairs digests with their own payloads no matter which
+            # worker finished first.
             return pool.map(evaluate_cell, specs, chunksize=1)

@@ -1,0 +1,39 @@
+"""repro.serve: persistent experiment daemon over one warm cache.
+
+The serving analogue of the paper's thesis: move the repeated work
+(interpreter cold starts, code fingerprinting, store opens, duplicate
+simulations) off every client's critical path and into one always-on
+agent.  A long-lived asyncio daemon owns the content-addressed
+ResultStore and a worker pool; clients submit
+:class:`~repro.runtime.parallel.CellSpec` grids over a thin HTTP/JSON
+API, overlapping work single-flights by content digest, warm cells
+answer from memory in sub-millisecond, and results are byte-identical
+to in-process runs.
+
+See docs/serving.md for the architecture and wire protocol.
+"""
+
+from .client import RemoteExecutor, ServeClient, ServeError
+from .daemon import DaemonThread, ReproDaemon, run_daemon
+from .protocol import (PROTOCOL_VERSION, SERVER_NAME, ProtocolError,
+                       decode_spec, decode_submit, encode_spec,
+                       encode_submit)
+from .scheduler import WORKER_MODES, SingleFlightScheduler
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SERVER_NAME",
+    "ProtocolError",
+    "encode_spec",
+    "decode_spec",
+    "encode_submit",
+    "decode_submit",
+    "SingleFlightScheduler",
+    "WORKER_MODES",
+    "ReproDaemon",
+    "DaemonThread",
+    "run_daemon",
+    "ServeClient",
+    "ServeError",
+    "RemoteExecutor",
+]

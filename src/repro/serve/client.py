@@ -1,0 +1,225 @@
+"""Clients for the experiment daemon: low-level and executor-shaped.
+
+:class:`ServeClient` is the wire-level client (stdlib ``http.client``,
+which transparently decodes the daemon's chunked ndjson stream); it
+exposes the four endpoints plus an event iterator so callers can
+render progress as cells resolve.
+
+:class:`RemoteExecutor` wraps a client in the
+:meth:`~repro.runtime.parallel.GridExecutor.map` shape, so an
+:class:`~repro.experiments.ExperimentCache` (and therefore every
+figure/table/sweep driver) can evaluate its grid on a daemon instead
+of in-process just by swapping the executor.  Results decode through
+the exact same :func:`~repro.runtime.parallel.decode_payload` round
+trip as local runs — daemon-served output is byte-identical.
+
+**Fingerprint guard.**  Digests embed a fingerprint of the simulator
+sources; a daemon built from different sources would file results
+under digests this process cannot reproduce.  The client checks the
+daemon's fingerprint in the ``accepted`` event and refuses to proceed
+on a mismatch rather than silently mixing result universes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from urllib.parse import urlsplit
+
+from ..runtime.parallel import CellSpec, code_fingerprint, decode_payload
+from .protocol import PROTOCOL_VERSION, encode_submit
+
+__all__ = ["ServeError", "ServeClient", "RemoteExecutor"]
+
+
+class ServeError(RuntimeError):
+    """Daemon unreachable, protocol violation, or server-side failure."""
+
+
+class ServeClient:
+    """Blocking HTTP client for one daemon at ``url``.
+
+    One connection per call: submits stream over their own connection
+    (the daemon closes after each response), and the control endpoints
+    are tiny — connection reuse would buy nothing but state.
+    """
+
+    def __init__(self, url: str, timeout: float = 600.0):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ServeError(f"unsupported scheme {parts.scheme!r} "
+                             f"(the daemon speaks plain http)")
+        if not parts.hostname:
+            raise ServeError(f"no host in serve url {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 8737
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------- plumbing
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def _call(self, method: str, path: str,
+              body: Optional[dict] = None) -> dict:
+        conn = self._connect()
+        try:
+            payload = None if body is None else json.dumps(body)
+            try:
+                conn.request(method, path, body=payload,
+                             headers={"Content-Type": "application/json"}
+                             if payload else {})
+                resp = conn.getresponse()
+                text = resp.read().decode()
+            except (OSError, http.client.HTTPException) as err:
+                raise ServeError(
+                    f"cannot reach daemon at {self.url}: {err}")
+            try:
+                doc = json.loads(text)
+            except ValueError:
+                raise ServeError(
+                    f"{method} {path}: non-JSON response "
+                    f"(status {resp.status})")
+            if resp.status != 200:
+                raise ServeError(
+                    f"{method} {path}: {resp.status} "
+                    f"{doc.get('error', text.strip())}")
+            return doc
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------ endpoints
+
+    def health(self) -> dict:
+        return self._call("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/v1/stats")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit."""
+        return self._call("POST", "/v1/shutdown")
+
+    def submit_events(self, specs: Iterable[CellSpec]
+                      ) -> Iterator[dict]:
+        """Submit ``specs`` and yield raw protocol events as they
+        arrive (``accepted``, then ``cell``/``error`` per unique
+        digest, then ``done``)."""
+        specs = list(specs)
+        conn = self._connect()
+        try:
+            try:
+                conn.request(
+                    "POST", "/v1/submit",
+                    body=json.dumps(encode_submit(specs)),
+                    headers={"Content-Type": "application/json"})
+                resp = conn.getresponse()
+            except (OSError, http.client.HTTPException) as err:
+                raise ServeError(
+                    f"cannot reach daemon at {self.url}: {err}")
+            if resp.status != 200:
+                text = resp.read().decode()
+                try:
+                    message = json.loads(text).get("error", text)
+                except ValueError:
+                    message = text.strip()
+                raise ServeError(f"submit rejected: {resp.status} "
+                                 f"{message}")
+            while True:
+                try:
+                    line = resp.readline()
+                except (OSError, http.client.HTTPException) as err:
+                    raise ServeError(f"stream broken mid-submit: {err}")
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    raise ServeError(
+                        f"malformed stream line: {line[:200]!r}")
+        finally:
+            conn.close()
+
+    def submit(self, specs: Iterable[CellSpec],
+               on_event: Optional[Callable[[dict], None]] = None,
+               check_fingerprint: bool = True) -> Dict[str, dict]:
+        """Submit ``specs``; return ``{digest: store payload}``.
+
+        Streams internally (``on_event`` sees every protocol event as
+        it arrives); raises :class:`ServeError` if any cell errored,
+        the stream ended early, or — with ``check_fingerprint`` — the
+        daemon's code fingerprint differs from this process's.
+        """
+        specs = list(specs)
+        expected: Optional[int] = None
+        payloads: Dict[str, dict] = {}
+        errors: List[str] = []
+        done = False
+        for event in self.submit_events(specs):
+            if on_event is not None:
+                on_event(event)
+            kind = event.get("event")
+            if kind == "accepted":
+                expected = event.get("unique")
+                if (check_fingerprint
+                        and event.get("fingerprint") != code_fingerprint()):
+                    raise ServeError(
+                        "daemon is running different simulator sources "
+                        f"(fingerprint {event.get('fingerprint')!r} vs "
+                        f"local {code_fingerprint()!r}); results would "
+                        "not correspond to this checkout")
+            elif kind == "cell":
+                payloads[event["digest"]] = event["payload"]
+            elif kind == "error":
+                errors.append(f"{event.get('digest', '?')[:16]}: "
+                              f"{event.get('message')}")
+            elif kind == "done":
+                done = True
+        if errors:
+            raise ServeError(
+                f"{len(errors)} cell(s) failed on the daemon:\n  "
+                + "\n  ".join(errors))
+        if not done:
+            raise ServeError("stream ended without a done event "
+                             "(daemon died mid-submit?)")
+        if expected is not None and len(payloads) != expected:
+            raise ServeError(
+                f"stream delivered {len(payloads)} of {expected} cells")
+        return payloads
+
+
+class RemoteExecutor:
+    """A :class:`GridExecutor`-shaped facade over a daemon.
+
+    Drop-in for :class:`~repro.experiments.ExperimentCache`'s executor:
+    ``map(specs) -> {digest: live object}`` with the same digest keys
+    and the same JSON decode path as local evaluation.  ``jobs`` and
+    ``store`` exist for interface parity; concurrency and persistence
+    are the daemon's business.
+    """
+
+    jobs = 1
+    store = None
+
+    def __init__(self, url: str, timeout: float = 600.0,
+                 on_event: Optional[Callable[[dict], None]] = None):
+        self.client = url if isinstance(url, ServeClient) \
+            else ServeClient(url, timeout=timeout)
+        self.on_event = on_event
+
+    def map(self, specs: Iterable[CellSpec]) -> Dict[str, Any]:
+        specs = list(specs)
+        if not specs:
+            return {}
+        payloads = self.client.submit(specs, on_event=self.on_event)
+        return {digest: decode_payload(payload)
+                for digest, payload in payloads.items()}

@@ -1,0 +1,364 @@
+"""The `repro serve` daemon: asyncio HTTP front end over the scheduler.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` —
+no frameworks, no threads on the request path.  Requests parse into
+``(method, path, headers, body)``; responses are either a single JSON
+document or, for ``/v1/submit``, a chunked ``application/x-ndjson``
+event stream that emits each cell the moment it resolves (clients see
+progress, not a final blob).
+
+Lifecycle: :meth:`ReproDaemon.start` binds (port 0 = ephemeral, the
+bound port is then on :attr:`port`), :meth:`ReproDaemon.serve` runs
+until :meth:`ReproDaemon.request_shutdown` (also reachable over HTTP
+via ``POST /v1/shutdown``), then **drains**: the listener closes, all
+in-flight computations finish and persist, the pool shuts down.  The
+store's per-write atomicity plus the drain barrier means a daemon
+stop never leaves a half-written cache.
+
+:class:`DaemonThread` runs the whole thing on a private event loop in
+a helper thread — that is what the tests and benchmarks use, and what
+keeps this module importable without ever touching a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..runtime.parallel import (STORE_SCHEMA, ResultStore, code_fingerprint)
+from .protocol import (PROTOCOL_VERSION, SERVER_NAME, ProtocolError,
+                       decode_submit, dumps_line)
+from .scheduler import SingleFlightScheduler
+
+__all__ = ["ReproDaemon", "DaemonThread", "run_daemon"]
+
+#: request bodies above this are rejected (64 MiB: a grid of tens of
+#: thousands of cells fits with room to spare).
+MAX_BODY = 64 << 20
+#: header-section cap, per line and total.
+MAX_HEADER_LINE = 64 << 10
+MAX_HEADERS = 100
+
+
+class _BadRequest(Exception):
+    """Maps to a 400 before any streaming has started."""
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request: (method, path, headers, body)."""
+    line = await reader.readline()
+    if not line:
+        raise ConnectionResetError("client closed before request line")
+    try:
+        method, path, _version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise _BadRequest("malformed request line")
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        line = await reader.readline()
+        if len(line) > MAX_HEADER_LINE:
+            raise _BadRequest("header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _BadRequest("too many headers")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise _BadRequest("bad Content-Length")
+        if length < 0 or length > MAX_BODY:
+            raise _BadRequest("Content-Length out of range")
+        body = await reader.readexactly(length)
+    return method, path.split("?", 1)[0], headers, body
+
+
+def _response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              405: "Method Not Allowed"}.get(status, "Error")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Server: {SERVER_NAME}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+_STREAM_HEAD = (f"HTTP/1.1 200 OK\r\n"
+                f"Server: {SERVER_NAME}\r\n"
+                f"Content-Type: application/x-ndjson\r\n"
+                f"Transfer-Encoding: chunked\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+
+
+def _chunk(data: bytes) -> bytes:
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+class ReproDaemon:
+    """The persistent experiment service (one per cache, many clients).
+
+    ``store=None`` runs memo-only (useful for tests); otherwise the
+    daemon owns the given :class:`ResultStore` for warm hits and
+    persistence.  ``jobs``/``workers``/``memo_cap`` configure the
+    scheduler (see :class:`SingleFlightScheduler`).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 store: Optional[ResultStore] = None, jobs: int = 1,
+                 workers: str = "spawn", memo_cap: int = 1024):
+        self.host = host
+        self.port = port
+        self.scheduler = SingleFlightScheduler(
+            store=store, jobs=jobs, workers=workers, memo_cap=memo_cap)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self.requests = 0
+
+    # --------------------------------------------------------- lifecycle
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve(self) -> None:
+        """Serve until shutdown is requested, then drain and close."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._shutdown.wait()
+            self._server.close()
+            await self._server.wait_closed()
+            await self.scheduler.drain()
+
+    def request_shutdown(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    # ---------------------------------------------------------- handlers
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, _headers, body = await _read_request(reader)
+            except _BadRequest as err:
+                writer.write(_response(400, {"error": str(err)}))
+                return
+            except (ConnectionResetError, asyncio.IncompleteReadError):
+                return
+            self.requests += 1
+            route = (method, path)
+            if route == ("GET", "/v1/health"):
+                writer.write(_response(200, self._health()))
+            elif route == ("GET", "/v1/stats"):
+                writer.write(_response(200, self._stats()))
+            elif route == ("POST", "/v1/shutdown"):
+                writer.write(_response(200, {"ok": True,
+                                             "draining":
+                                             self.scheduler.inflight}))
+                await writer.drain()
+                self.request_shutdown()
+            elif route == ("POST", "/v1/submit"):
+                await self._submit(writer, body)
+            elif path.startswith("/v1/"):
+                writer.write(_response(405 if path in (
+                    "/v1/health", "/v1/stats", "/v1/submit",
+                    "/v1/shutdown") else 404,
+                    {"error": f"no route for {method} {path}"}))
+            else:
+                writer.write(_response(404, {"error": "not found"}))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; computations keep running
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _health(self) -> Dict[str, Any]:
+        return {"ok": True, "server": SERVER_NAME,
+                "version": PROTOCOL_VERSION,
+                "schema": STORE_SCHEMA,
+                "fingerprint": code_fingerprint(),
+                "workers": self.scheduler.workers,
+                "jobs": self.scheduler.jobs}
+
+    def _stats(self) -> Dict[str, Any]:
+        sched = self.scheduler
+        return {"counters": dict(sched.counters),
+                "inflight": sched.inflight,
+                "memo": sched.memo_size,
+                "memo_cap": sched.memo_cap,
+                "requests": self.requests,
+                "store": (str(sched.store.root)
+                          if sched.store is not None else None),
+                "fingerprint": code_fingerprint()}
+
+    async def _submit(self, writer: asyncio.StreamWriter,
+                      body: bytes) -> None:
+        try:
+            specs = decode_submit(json.loads(body.decode() or "null"))
+        except (ProtocolError, ValueError, UnicodeDecodeError) as err:
+            writer.write(_response(400, {"error": str(err)}))
+            return
+        sched = self.scheduler
+        sched.counters["submits"] += 1
+        fingerprint = code_fingerprint()
+        digests = [spec.digest(fingerprint) for spec in specs]
+        unique: Dict[str, Any] = {}
+        for spec, digest in zip(specs, digests):
+            unique.setdefault(digest, spec)
+
+        writer.write(_STREAM_HEAD)
+        writer.write(_chunk(dumps_line({
+            "event": "accepted", "cells": len(specs),
+            "unique": len(unique), "digests": digests,
+            "fingerprint": fingerprint})))
+        await writer.drain()
+
+        async def one(digest: str, spec) -> Tuple[str, str, str, object]:
+            # Wall time spent serving a request is operational
+            # telemetry, not simulated time.
+            t0 = time.monotonic()  # repro: noqa[wall-clock] — request service latency, not sim time
+            source, (status, value) = await sched.cell(spec, digest)
+            elapsed_ms = 1e3 * (time.monotonic() - t0)  # repro: noqa[wall-clock] — request service latency, not sim time
+            return digest, source, status, (value, elapsed_ms)
+
+        tasks = [asyncio.ensure_future(one(d, s))
+                 for d, s in unique.items()]
+        try:
+            for fut in asyncio.as_completed(tasks):
+                digest, source, status, (value, elapsed_ms) = await fut
+                if status == "ok":
+                    event = {"event": "cell", "digest": digest,
+                             "source": source,
+                             "elapsed_ms": round(elapsed_ms, 3),
+                             "payload": value}
+                else:
+                    event = {"event": "error", "digest": digest,
+                             "source": source, "message": value}
+                writer.write(_chunk(dumps_line(event)))
+                await writer.drain()
+            writer.write(_chunk(dumps_line(
+                {"event": "done", "counters": dict(sched.counters)})))
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            # Cancel *request* tasks only; shields keep the underlying
+            # computations alive for other clients.
+            for task in tasks:
+                task.cancel()
+
+
+# ------------------------------------------------------------ embedding
+
+
+class DaemonThread:
+    """A daemon on a private event loop in a helper thread.
+
+    For tests, benchmarks and notebook embedding::
+
+        with DaemonThread(store=store, workers="thread") as handle:
+            ServeClient(handle.url).submit(specs)
+
+    ``stop()`` (or context exit) requests shutdown and joins the
+    thread, which drains in-flight work first.
+    """
+
+    def __init__(self, **kwargs: Any):
+        self._kwargs = kwargs
+        self.daemon: Optional[ReproDaemon] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve", daemon=True)
+
+    def start(self) -> "DaemonThread":
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._error is not None:
+            raise RuntimeError("daemon failed to start") from self._error
+        if self.daemon is None:
+            raise RuntimeError("daemon did not start within 30 s")
+        return self
+
+    @property
+    def url(self) -> str:
+        assert self.daemon is not None
+        return self.daemon.url
+
+    def stop(self) -> None:
+        if self._loop is not None and self.daemon is not None:
+            self._loop.call_soon_threadsafe(self.daemon.request_shutdown)
+        self._thread.join(timeout=60.0)
+
+    def __enter__(self) -> "DaemonThread":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as err:  # noqa: BLE001 — surfaced in start()
+            self._error = err
+            self._ready.set()
+
+    async def _main(self) -> None:
+        daemon = ReproDaemon(**self._kwargs)
+        await daemon.start()
+        self._loop = asyncio.get_running_loop()
+        self.daemon = daemon
+        self._ready.set()
+        await daemon.serve()
+
+
+def run_daemon(host: str = "127.0.0.1", port: int = 8737,
+               store: Optional[ResultStore] = None, jobs: int = 1,
+               workers: str = "spawn", memo_cap: int = 1024,
+               announce=print) -> None:
+    """Run a daemon in the foreground until SIGINT/shutdown (the CLI
+    entry point).  ``announce`` receives human-readable status lines."""
+
+    async def main() -> None:
+        daemon = ReproDaemon(host=host, port=port, store=store, jobs=jobs,
+                             workers=workers, memo_cap=memo_cap)
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, daemon.request_shutdown)
+        except (NotImplementedError, ImportError):
+            pass  # platforms without signal handlers: Ctrl-C still works
+        root = store.root if store is not None else None
+        announce(f"repro serve: listening on {daemon.url} "
+                 f"(jobs={daemon.scheduler.jobs}, workers={workers}, "
+                 f"store={root if root is not None else 'memo-only'})")
+        try:
+            await daemon.serve()
+        finally:
+            announce("repro serve: drained, bye")
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        announce("repro serve: interrupted")

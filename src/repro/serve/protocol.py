@@ -1,0 +1,167 @@
+"""Wire protocol for the experiment daemon.
+
+The daemon and its clients speak JSON over HTTP/1.1 (stdlib only on
+both sides).  The one non-trivial piece is shipping a
+:class:`~repro.runtime.parallel.CellSpec` across the wire without a
+second serialization scheme: the request body carries the spec's
+*canonical form* — exactly what :func:`repro.runtime.parallel.canonical`
+produces and the content digest is computed over — and this module
+decodes that form back into live dataclasses.  Encoding and keying
+therefore cannot diverge: if a spec survives the wire, it digests to
+the same address on both ends.
+
+Endpoints (all under ``/v1``)::
+
+    GET  /v1/health    -> {"ok": true, "fingerprint": ..., ...}
+    GET  /v1/stats     -> {"counters": {...}, "inflight": N, ...}
+    POST /v1/submit    -> chunked application/x-ndjson event stream
+    POST /v1/shutdown  -> {"ok": true}; daemon drains and exits
+
+Submit request body::
+
+    {"version": 1, "cells": [<canonical CellSpec>, ...]}
+
+Submit response stream, one JSON object per line:
+
+* ``{"event": "accepted", "cells": N, "unique": M,
+   "digests": [...], "fingerprint": ...}`` — ``digests`` is aligned
+  with the submitted cells (duplicates resolve to the same digest);
+* ``{"event": "cell", "digest": ..., "source":
+  "memo"|"warm"|"attached"|"computed", "elapsed_ms": ...,
+  "payload": {...}}`` — one per *unique* digest, in completion order;
+  ``payload`` is the store payload, so clients decode it with the
+  same :func:`~repro.runtime.parallel.decode_payload` round trip as
+  in-process runs (byte-identity for free);
+* ``{"event": "error", "digest": ..., "message": ...}`` — evaluation
+  failed for that cell (the rest of the grid still streams);
+* ``{"event": "done", "counters": {...}}`` — terminal.
+
+``source`` semantics: ``memo`` = served from the daemon's in-memory
+payload cache; ``warm`` = loaded from the persistent ResultStore;
+``attached`` = this request joined a computation another request had
+already started (single-flight dedup); ``computed`` = this request
+started the computation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Iterable, List
+
+from ..hw import FaultConfig, MachineConfig
+from ..runtime.parallel import CellSpec, canonical
+from ..svm import ProtocolFeatures
+
+__all__ = ["PROTOCOL_VERSION", "SERVER_NAME", "ProtocolError",
+           "encode_spec", "decode_spec", "encode_submit",
+           "decode_submit", "dumps_line"]
+
+PROTOCOL_VERSION = 1
+SERVER_NAME = "repro-serve/1"
+
+#: cell kinds evaluate_cell knows how to run (validated at decode so a
+#: bad request fails before it reaches the scheduler).
+CELL_KINDS = frozenset({"svm", "seq", "origin", "profile", "critpath"})
+
+#: dataclasses allowed to cross the wire, by canonical tag.  Closed
+#: registry: an unknown tag is a protocol error, never an import.
+_DATACLASSES = {cls.__name__: cls
+                for cls in (CellSpec, ProtocolFeatures, MachineConfig,
+                            FaultConfig)}
+
+#: fields whose constructors require tuples (canonical JSON flattens
+#: every sequence to a list): class name -> field -> rebuild depth.
+_TUPLE_FIELDS = {"FaultConfig": {"links": 2}}
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsupported wire payload."""
+
+
+def encode_spec(spec: CellSpec) -> Dict[str, Any]:
+    """JSON-safe wire form of ``spec`` (its canonical form)."""
+    return canonical(spec)
+
+
+def _retuple(value: Any, depth: int) -> Any:
+    if value is None or depth <= 0 or not isinstance(value, list):
+        return value
+    return tuple(_retuple(v, depth - 1) for v in value)
+
+
+def _decode_value(data: Any) -> Any:
+    if isinstance(data, dict):
+        if "__dataclass__" in data:
+            return _decode_dataclass(data)
+        return {k: _decode_value(v) for k, v in data.items()}
+    if isinstance(data, list):
+        return [_decode_value(v) for v in data]
+    return data
+
+
+def _decode_dataclass(data: Dict[str, Any]) -> Any:
+    tag = data["__dataclass__"]
+    cls = _DATACLASSES.get(tag)
+    if cls is None:
+        raise ProtocolError(f"unknown dataclass tag {tag!r}")
+    kwargs = {k: _decode_value(v) for k, v in data.items()
+              if k != "__dataclass__"}
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(kwargs) - known)
+    if unknown:
+        raise ProtocolError(
+            f"{tag} does not accept field(s) {', '.join(unknown)} "
+            f"(version skew between client and daemon?)")
+    for name, depth in _TUPLE_FIELDS.get(tag, {}).items():
+        if name in kwargs:
+            kwargs[name] = _retuple(kwargs[name], depth)
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as err:
+        raise ProtocolError(f"invalid {tag}: {err}")
+
+
+def decode_spec(data: Any) -> CellSpec:
+    """Wire form -> :class:`CellSpec`; raises :class:`ProtocolError`
+    on anything that is not a well-formed, runnable cell."""
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"cell must be an object, got {type(data).__name__}")
+    spec = _decode_value(data)
+    if not isinstance(spec, CellSpec):
+        raise ProtocolError("cell object is not a tagged CellSpec")
+    if spec.kind not in CELL_KINDS:
+        raise ProtocolError(
+            f"unknown cell kind {spec.kind!r} (expected one of "
+            f"{', '.join(sorted(CELL_KINDS))})")
+    if not isinstance(spec.app, str) or not spec.app:
+        raise ProtocolError("cell app must be a non-empty string")
+    return spec
+
+
+def encode_submit(specs: Iterable[CellSpec]) -> Dict[str, Any]:
+    """The ``POST /v1/submit`` request body for ``specs``."""
+    return {"version": PROTOCOL_VERSION,
+            "cells": [encode_spec(spec) for spec in specs]}
+
+
+def decode_submit(body: Any) -> List[CellSpec]:
+    """Request body -> list of specs (daemon side)."""
+    if not isinstance(body, dict):
+        raise ProtocolError("submit body must be a JSON object")
+    version = body.get("version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(daemon speaks {PROTOCOL_VERSION})")
+    cells = body.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise ProtocolError("submit body needs a non-empty 'cells' list")
+    return [decode_spec(cell) for cell in cells]
+
+
+def dumps_line(event: Dict[str, Any]) -> bytes:
+    """One ndjson stream line (sorted keys: byte-stable for tests)."""
+    return (json.dumps(event, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()

@@ -1,0 +1,190 @@
+"""Single-flight scheduler: the daemon's one warm cache + worker pool.
+
+This is the serving analogue of the paper's NI firmware: a long-lived
+agent that owns the shared protocol state so the request path never
+pays asynchronous handling.  Concretely, the scheduler owns
+
+* the **in-memory payload memo** (bounded LRU of store payloads — the
+  daemon's warm cache, answering repeats in microseconds),
+* the **persistent ResultStore** (shared, lockfile-claimed, so ad-hoc
+  CLI runs and the daemon can safely use one ``--cache-dir``), and
+* the **worker pool** (spawn processes by default; threads for tests
+  and 1-CPU boxes), plus the **in-flight table** that single-flights
+  every computation by content digest.
+
+Single-flight contract: at any instant there is at most one live
+computation per digest, daemon-wide.  A request that wants a digest
+already being computed *attaches* to that computation instead of
+starting its own; client disconnects never cancel a computation other
+clients may be waiting on (the compute task is independent of any
+request, and requests await it through ``asyncio.shield``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from ..runtime.parallel import (CellSpec, ResultStore, decode_payload,
+                                evaluate_cell, make_envelope)
+
+__all__ = ["SingleFlightScheduler", "WORKER_MODES"]
+
+WORKER_MODES = ("spawn", "thread")
+
+#: (status, payload-or-message): status is "ok" or "error".  Futures
+#: resolve to this pair instead of raising so that a computation with
+#: zero surviving waiters never logs an unretrieved-exception warning.
+Outcome = Tuple[str, object]
+
+
+class SingleFlightScheduler:
+    """Digest-keyed single-flight evaluation over one warm cache.
+
+    ``jobs`` sizes the worker pool; ``workers`` selects the pool kind
+    (``"spawn"`` processes — the default, workers share nothing with
+    the daemon — or ``"thread"`` for cheap startup where process
+    isolation is not needed).  ``memo_cap`` bounds the in-memory
+    payload LRU; the persistent store remains the source of truth for
+    anything evicted.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 jobs: int = 1, workers: str = "spawn",
+                 memo_cap: int = 1024):
+        if workers not in WORKER_MODES:
+            raise ValueError(f"workers must be one of {WORKER_MODES}, "
+                             f"got {workers!r}")
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        self.workers = workers
+        self.memo_cap = max(1, int(memo_cap))
+        self._memo: "OrderedDict[str, dict]" = OrderedDict()
+        self._inflight: Dict[str, "asyncio.Task[Outcome]"] = {}
+        self._pool: Optional[Executor] = None
+        self.counters: Dict[str, int] = {
+            "submits": 0,        # submit requests accepted
+            "cells": 0,          # cells requested (after per-request dedup)
+            "memo_hits": 0,      # served from the in-memory payload LRU
+            "store_hits": 0,     # served from the persistent store
+            "attached": 0,       # joined an already-running computation
+            "computed": 0,       # computations actually started
+            "errors": 0,         # computations that raised
+        }
+
+    # ------------------------------------------------------------- pool
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.workers == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="repro-serve")
+            else:
+                import multiprocessing
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=multiprocessing.get_context("spawn"))
+        return self._pool
+
+    # ------------------------------------------------------------ lookup
+
+    def _load_store(self, digest: str) -> Optional[dict]:
+        """Payload from the persistent store, validated, or None.
+
+        Corrupt or undecodable entries read as misses, exactly like
+        :meth:`GridExecutor.submit`; a valid hit is memoized.
+        """
+        if self.store is None:
+            return None
+        envelope = self.store.load(digest)
+        if envelope is None:
+            return None
+        payload = envelope.get("payload")
+        try:
+            decode_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None  # corrupt entry: recompute
+        self._remember(digest, payload)
+        return payload
+
+    def _remember(self, digest: str, payload: dict) -> None:
+        self._memo[digest] = payload
+        self._memo.move_to_end(digest)
+        while len(self._memo) > self.memo_cap:
+            self._memo.popitem(last=False)
+
+    # -------------------------------------------------------------- cell
+
+    async def cell(self, spec: CellSpec, digest: str) -> Tuple[str, Outcome]:
+        """Resolve one cell: ``(source, (status, payload_or_msg))``.
+
+        ``source`` is ``memo``/``warm``/``attached``/``computed`` (see
+        the protocol doc).  Cancelling the caller never cancels a
+        computation: compute tasks live in the in-flight table,
+        independent of any request, and are awaited through a shield.
+        """
+        self.counters["cells"] += 1
+        payload = self._memo.get(digest)
+        if payload is not None:
+            self._memo.move_to_end(digest)
+            self.counters["memo_hits"] += 1
+            return ("memo", ("ok", payload))
+        # In-flight before store: while a digest is computing the
+        # store cannot have it yet, and after it resolves the memo
+        # will.  (A concurrent external writer racing us just means
+        # one redundant attach-then-resolve, never a wrong answer.)
+        task = self._inflight.get(digest)
+        if task is not None:
+            self.counters["attached"] += 1
+            return ("attached", await asyncio.shield(task))
+        payload = self._load_store(digest)
+        if payload is not None:
+            self.counters["store_hits"] += 1
+            return ("warm", ("ok", payload))
+        task = asyncio.get_running_loop().create_task(
+            self._compute(digest, spec))
+        self._inflight[digest] = task
+        self.counters["computed"] += 1
+        return ("computed", await asyncio.shield(task))
+
+    async def _compute(self, digest: str, spec: CellSpec) -> Outcome:
+        """The one computation for ``digest``; never raises."""
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._ensure_pool(), evaluate_cell, spec)
+        except Exception as err:  # noqa: BLE001 — reported to clients
+            self.counters["errors"] += 1
+            return ("error", f"{type(err).__name__}: {err}")
+        finally:
+            self._inflight.pop(digest, None)
+        if self.store is not None:
+            self.store.store(digest, make_envelope(spec, payload))
+        self._remember(digest, payload)
+        return ("ok", payload)
+
+    # ------------------------------------------------------------- drain
+
+    async def drain(self) -> None:
+        """Wait for every in-flight computation, then stop the pool.
+
+        Store writes are individually atomic, so after drain the store
+        holds a consistent snapshot of everything that completed.
+        """
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight.values()),
+                                 return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def memo_size(self) -> int:
+        return len(self._memo)

@@ -193,12 +193,122 @@ def test_pool_matches_serial(svm_payload):
     """jobs=2 through a real spawn pool == jobs=1 in-process, bytewise."""
     specs = [svm_spec(), svm_spec(features=BASE)]
     serial = GridExecutor(jobs=1).map(specs)
-    pooled = GridExecutor(jobs=2).map(specs)
+    pooled = GridExecutor(jobs=2, jobs_force=True).map(specs)
     assert serial.keys() == pooled.keys()
     for digest in serial:
         assert (encode_result(serial[digest])
                 == encode_result(pooled[digest]))
     assert encode_result(serial[specs[0].digest()]) == svm_payload["result"]
+
+
+# ------------------------------------------------------------ jobs clamping
+
+def test_jobs_clamped_to_cpu_count(monkeypatch):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+    ex = GridExecutor(jobs=8)
+    assert ex.jobs == 2
+    assert ex.requested_jobs == 8  # original ask kept for reporting
+
+
+def test_jobs_force_overrides_clamp(monkeypatch):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+    ex = GridExecutor(jobs=8, jobs_force=True)
+    assert ex.jobs == 8
+    assert ex.requested_jobs == 8
+
+
+def test_jobs_within_cpu_count_untouched(monkeypatch):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)
+    assert GridExecutor(jobs=2).jobs == 2
+    assert GridExecutor(jobs=1).jobs == 1
+
+
+# ----------------------------------------------------------- store locking
+
+def test_store_skips_write_when_claim_held(tmp_path):
+    """A fresh lockfile means a live concurrent writer owns the entry:
+    store() must back off (content addressing makes their bytes ours)."""
+    store = ResultStore(tmp_path)
+    digest = "ef" * 32
+    lock = store.lock_path(digest)
+    lock.parent.mkdir(parents=True)
+    lock.touch()  # another writer's live claim
+    assert store.store(digest, {"schema": STORE_SCHEMA,
+                                "payload": {}}) is False
+    assert store.load(digest) is None  # nothing written by the loser
+    assert lock.exists()  # and the owner's claim is intact
+
+
+def test_store_breaks_stale_claim(tmp_path):
+    """A claim older than lock_stale_s is an orphan (killed writer):
+    the next store() breaks it and writes."""
+    import os as _os
+    store = ResultStore(tmp_path)
+    digest = "ef" * 32
+    lock = store.lock_path(digest)
+    lock.parent.mkdir(parents=True)
+    lock.touch()
+    past = 10.0  # epoch-ish: way older than any staleness bound
+    _os.utime(lock, (past, past))
+    envelope = {"schema": STORE_SCHEMA, "payload": {"kind": "x"}}
+    assert store.store(digest, envelope) is True
+    assert store.load(digest) == envelope
+    assert not lock.exists()  # claim released after the write
+
+
+def test_store_write_releases_claim(tmp_path):
+    store = ResultStore(tmp_path)
+    digest = "ab" * 32
+    assert store.store(digest, {"schema": STORE_SCHEMA,
+                                "payload": {}}) is True
+    assert not store.lock_path(digest).exists()
+    # and the entry is immediately re-writable (no leaked claim)
+    assert store.store(digest, {"schema": STORE_SCHEMA,
+                                "payload": {"v": 2}}) is True
+
+
+def test_executor_survives_blocked_store_write(tmp_path, svm_payload):
+    """If another writer holds the claim, the executor still returns
+    the computed result — persistence is best-effort, correctness
+    comes from the in-memory path."""
+    store = ResultStore(tmp_path)
+    spec = svm_spec()
+    digest = spec.digest()
+    lock = store.lock_path(digest)
+    lock.parent.mkdir(parents=True)
+    lock.touch()
+    result = GridExecutor(jobs=1, store=store).map([spec])[digest]
+    assert encode_result(result) == svm_payload["result"]
+    assert store.load(digest) is None  # write was skipped, not corrupted
+
+
+# ----------------------------------------------------------- submit/collect
+
+def test_submit_collect_halves(tmp_path, svm_payload):
+    store = ResultStore(tmp_path)
+    warm_spec, cold_spec = svm_spec(), svm_spec(features=BASE)
+    GridExecutor(jobs=1, store=store).map([warm_spec])
+
+    ex = GridExecutor(jobs=1, store=store)
+    plan = ex.submit([warm_spec, cold_spec, warm_spec])  # dup collapses
+    assert len(plan.order) == 2
+    assert set(plan.hits) == {warm_spec.digest()}
+    assert plan.misses == [cold_spec.digest()]
+    out = ex.collect(plan)
+    assert set(out) == set(plan.order)
+    assert encode_result(out[warm_spec.digest()]) == svm_payload["result"]
+    assert len(store) == 2  # miss persisted by collect
+
+
+def test_submit_treats_corrupt_entry_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = svm_spec()
+    digest = spec.digest()
+    GridExecutor(jobs=1, store=store).map([spec])
+    store.path_for(digest).write_text('{"schema": 1, "payload": {}}')
+    plan = GridExecutor(jobs=1, store=store).submit([spec])
+    assert plan.misses == [digest]
+    assert not plan.hits
 
 
 # ----------------------------------------------------- ExperimentCache glue

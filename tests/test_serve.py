@@ -1,0 +1,352 @@
+"""Tests for the experiment daemon (repro.serve).
+
+The contracts under test:
+
+* **wire protocol** — a CellSpec survives the canonical-form round
+  trip (including nested features/config/faults) and digests to the
+  same address on both ends; malformed payloads are protocol errors,
+  not crashes;
+* **byte-identity** — daemon-served payloads decode to results
+  byte-identical to in-process ``--jobs 1`` evaluation;
+* **single-flight dedup** — N concurrent clients submitting
+  overlapping grids compute each unique digest exactly once, and all
+  clients receive identical payload bytes;
+* **warm paths** — a restarted daemon over the same store serves
+  everything warm (zero computations), and resubmission hits the
+  in-memory memo.
+
+Daemons run on a private event loop in a helper thread
+(:class:`DaemonThread`) with a thread worker pool: same process, so
+the suite can monkeypatch the evaluation function and count calls.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.hw import FaultConfig, MachineConfig
+from repro.runtime.parallel import (CellSpec, GridExecutor, ResultStore,
+                                    encode_result, evaluate_cell)
+from repro.serve import (DaemonThread, ProtocolError, RemoteExecutor,
+                         ServeClient, ServeError, decode_spec,
+                         decode_submit, encode_spec, encode_submit)
+from repro.serve import scheduler as scheduler_mod
+from repro.svm import BASE, GENIMA
+
+APP = "Water-spatial"
+
+
+def svm_spec(features=GENIMA, **params) -> CellSpec:
+    return CellSpec(kind="svm", app=APP, params=params,
+                    features=features, config=MachineConfig())
+
+
+@pytest.fixture(scope="module")
+def small_payload():
+    """One real evaluated payload, reused as the fake compute result."""
+    return evaluate_cell(CellSpec(kind="seq", app=APP,
+                                  config=MachineConfig()))
+
+
+# ----------------------------------------------------------------- protocol
+
+
+def test_spec_roundtrip_preserves_value_and_digest():
+    spec = CellSpec(
+        kind="svm", app=APP, params={"n": 3, "grid": [1, 2]},
+        features=GENIMA,
+        config=MachineConfig(nodes=2, faults=FaultConfig(
+            loss=0.01, links=((0, 1), (1, 0)), seed=7)))
+    wire = json.loads(json.dumps(encode_spec(spec)))
+    back = decode_spec(wire)
+    assert back.features == spec.features
+    assert back.config.faults.links == ((0, 1), (1, 0))
+    assert back.digest("f" * 16) == spec.digest("f" * 16)
+
+
+def test_decode_spec_rejects_malformed():
+    with pytest.raises(ProtocolError):
+        decode_spec([1, 2, 3])
+    with pytest.raises(ProtocolError):
+        decode_spec({"__dataclass__": "Subprocess", "cmd": "rm"})
+    with pytest.raises(ProtocolError):
+        decode_spec({"__dataclass__": "CellSpec", "kind": "nope",
+                     "app": APP})
+    with pytest.raises(ProtocolError):
+        decode_spec({"__dataclass__": "CellSpec", "kind": "svm",
+                     "app": APP, "bogus_field": 1})
+    with pytest.raises(ProtocolError):  # invariant-violating features
+        decode_spec(json.loads(json.dumps(encode_spec(
+            svm_spec()))) | {"features": {
+                "__dataclass__": "ProtocolFeatures",
+                "direct_diffs": True}})
+
+
+def test_decode_submit_contract():
+    body = encode_submit([svm_spec()])
+    assert [s.digest("f" * 16) for s in decode_submit(body)] \
+        == [svm_spec().digest("f" * 16)]
+    with pytest.raises(ProtocolError):
+        decode_submit({"version": 99, "cells": [encode_spec(svm_spec())]})
+    with pytest.raises(ProtocolError):
+        decode_submit({"version": 1, "cells": []})
+
+
+# ----------------------------------------------------------- daemon basics
+
+
+def test_health_stats_and_routes():
+    with DaemonThread(workers="thread", jobs=1, store=None) as handle:
+        client = ServeClient(handle.url)
+        health = client.health()
+        assert health["ok"] and health["server"] == "repro-serve/1"
+        stats = client.stats()
+        assert stats["counters"]["computed"] == 0
+        assert stats["store"] is None
+        with pytest.raises(ServeError):
+            client._call("GET", "/v1/nope")
+        with pytest.raises(ServeError):
+            client._call("GET", "/v1/submit")  # wrong method
+
+
+def test_submit_byte_identical_to_inprocess(tmp_path):
+    specs = [CellSpec(kind="seq", app=APP, config=MachineConfig()),
+             svm_spec(features=BASE), svm_spec()]
+    local = GridExecutor(jobs=1).map(specs)
+    with DaemonThread(workers="thread", jobs=1,
+                      store=ResultStore(tmp_path)) as handle:
+        remote = RemoteExecutor(handle.url).map(specs)
+        assert remote.keys() == local.keys()
+        for digest in local:
+            assert (encode_result(remote[digest])
+                    == encode_result(local[digest]))
+        # resubmission is a pure memo hit
+        events = []
+        ServeClient(handle.url).submit(
+            specs, on_event=lambda e: events.append(e))
+        sources = sorted(e["source"] for e in events
+                         if e["event"] == "cell")
+        assert sources == ["memo"] * 3
+
+
+def test_submit_streams_progress_events():
+    with DaemonThread(workers="thread", jobs=1, store=None) as handle:
+        events = []
+        ServeClient(handle.url).submit(
+            [svm_spec(), svm_spec()],  # duplicate collapses
+            on_event=lambda e: events.append(e))
+        kinds = [e["event"] for e in events]
+        assert kinds == ["accepted", "cell", "done"]
+        accepted = events[0]
+        assert accepted["cells"] == 2 and accepted["unique"] == 1
+        assert len(set(accepted["digests"])) == 1
+        assert events[1]["source"] == "computed"
+        assert events[1]["elapsed_ms"] >= 0
+        assert events[2]["counters"]["computed"] == 1
+
+
+def test_error_event_does_not_kill_the_grid():
+    good = svm_spec()
+    bad = CellSpec(kind="svm", app="NoSuchApp", config=MachineConfig())
+    with DaemonThread(workers="thread", jobs=1, store=None) as handle:
+        client = ServeClient(handle.url)
+        events = []
+        with pytest.raises(ServeError, match="1 cell"):
+            client.submit([good, bad],
+                          on_event=lambda e: events.append(e))
+        by_kind = {e["event"]: e for e in events}
+        assert "error" in by_kind and "cell" in by_kind
+        assert "done" in by_kind  # stream completed despite the error
+        assert client.stats()["counters"]["errors"] == 1
+
+
+def test_fingerprint_mismatch_refused(monkeypatch):
+    with DaemonThread(workers="thread", jobs=1, store=None) as handle:
+        monkeypatch.setattr("repro.serve.client.code_fingerprint",
+                            lambda: "deadbeefdeadbeef")
+        with pytest.raises(ServeError, match="different simulator"):
+            ServeClient(handle.url).submit([svm_spec()])
+
+
+# ------------------------------------------------------------ single-flight
+
+
+def test_single_flight_dedup_across_concurrent_clients(
+        monkeypatch, small_payload):
+    """N clients x overlapping grids: each unique digest computed
+    exactly once, every client gets byte-identical payloads."""
+    calls = {}
+    calls_lock = threading.Lock()
+    gate = threading.Event()
+
+    def slow_evaluate(spec):
+        with calls_lock:
+            calls[spec.digest()] = calls.get(spec.digest(), 0) + 1
+        gate.wait(timeout=10.0)  # hold every computation open
+        return small_payload
+
+    monkeypatch.setattr(scheduler_mod, "evaluate_cell", slow_evaluate)
+    # 6 unique cells, every client submits all of them (full overlap).
+    specs = [CellSpec(kind="seq", app=APP, params={"i": i},
+                      config=MachineConfig()) for i in range(6)]
+    n_clients = 4
+    results, errors = {}, []
+    barrier = threading.Barrier(n_clients + 1)
+
+    with DaemonThread(workers="thread", jobs=8, store=None) as handle:
+        def client(idx):
+            try:
+                barrier.wait(timeout=10.0)
+                results[idx] = ServeClient(handle.url).submit(
+                    specs, check_fingerprint=False)
+            except Exception as err:  # pragma: no cover - fail below
+                errors.append(err)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=10.0)  # all clients submitting ~together
+        gate.set()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        stats = ServeClient(handle.url).stats()
+
+    counters = stats["counters"]
+    # exactly-once: one computation per unique digest, daemon-wide
+    assert counters["computed"] == len(specs)
+    assert all(n == 1 for n in calls.values()), calls
+    assert counters["cells"] == n_clients * len(specs)
+    # every non-computing request was deduplicated somewhere warm
+    assert (counters["attached"] + counters["memo_hits"]
+            == (n_clients - 1) * len(specs))
+    # all clients saw identical bytes
+    blobs = {json.dumps(results[i], sort_keys=True)
+             for i in range(n_clients)}
+    assert len(blobs) == 1
+
+
+def test_attach_joins_inflight_computation(monkeypatch, small_payload):
+    """A request arriving mid-computation attaches instead of
+    recomputing, and still receives the payload."""
+    started = threading.Event()
+    gate = threading.Event()
+
+    def slow_evaluate(_spec):
+        started.set()
+        gate.wait(timeout=10.0)
+        return small_payload
+
+    monkeypatch.setattr(scheduler_mod, "evaluate_cell", slow_evaluate)
+    spec = svm_spec()
+    with DaemonThread(workers="thread", jobs=2, store=None) as handle:
+        client = ServeClient(handle.url)
+        first = {}
+        t = threading.Thread(target=lambda: first.update(
+            client.submit([spec], check_fingerprint=False)))
+        t.start()
+        assert started.wait(timeout=10.0)
+        second_events = []
+        t2 = threading.Thread(target=lambda: client.submit(
+            [spec], check_fingerprint=False,
+            on_event=lambda e: second_events.append(e)))
+        t2.start()
+        # hold the computation open until the second request has
+        # actually attached to it (the counter bumps synchronously
+        # when its cell() coroutine finds the in-flight task)
+        deadline = time.monotonic() + 10.0  # repro: noqa[wall-clock] — test poll deadline, not sim time
+        while (client.stats()["counters"]["attached"] < 1
+               and time.monotonic() < deadline):  # repro: noqa[wall-clock] — test poll deadline, not sim time
+            time.sleep(0.01)
+        gate.set()
+        t.join(timeout=30.0)
+        t2.join(timeout=30.0)
+        stats = client.stats()
+    assert stats["counters"]["computed"] == 1
+    assert stats["counters"]["attached"] == 1
+    cell_events = [e for e in second_events if e["event"] == "cell"]
+    assert cell_events and cell_events[0]["source"] == "attached"
+
+
+# -------------------------------------------------------------- warm paths
+
+
+def test_daemon_restart_serves_warm_from_store(tmp_path):
+    store_root = tmp_path / "shared"
+    specs = [svm_spec(features=BASE),
+             CellSpec(kind="seq", app=APP, config=MachineConfig())]
+    with DaemonThread(workers="thread", jobs=1,
+                      store=ResultStore(store_root)) as handle:
+        first = ServeClient(handle.url).submit(specs)
+        assert ServeClient(handle.url).stats()["counters"]["computed"] \
+            == 2
+    # fresh daemon, same store: everything warm, nothing recomputed
+    with DaemonThread(workers="thread", jobs=1,
+                      store=ResultStore(store_root)) as handle:
+        events = []
+        second = ServeClient(handle.url).submit(
+            specs, on_event=lambda e: events.append(e))
+        stats = ServeClient(handle.url).stats()
+    assert stats["counters"]["computed"] == 0
+    assert stats["counters"]["store_hits"] == 2
+    assert sorted(e["source"] for e in events if e["event"] == "cell") \
+        == ["warm", "warm"]
+    assert {d: json.dumps(p, sort_keys=True) for d, p in first.items()} \
+        == {d: json.dumps(p, sort_keys=True) for d, p in second.items()}
+
+
+def test_daemon_shares_store_with_adhoc_cli_runs(tmp_path):
+    """An in-process GridExecutor warms the store; the daemon serves
+    the same digests without recomputing (one --cache-dir, two
+    writers)."""
+    store = ResultStore(tmp_path)
+    spec = svm_spec()
+    local = GridExecutor(jobs=1, store=store).map([spec])
+    with DaemonThread(workers="thread", jobs=1, store=store) as handle:
+        remote = RemoteExecutor(handle.url).map([spec])
+        stats = ServeClient(handle.url).stats()
+    assert stats["counters"]["computed"] == 0
+    digest = spec.digest()
+    assert encode_result(remote[digest]) == encode_result(local[digest])
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def test_cli_submit_and_stats(capsys):
+    with DaemonThread(workers="thread", jobs=1, store=None) as handle:
+        rc = cli_main(["submit", "--serve", handle.url, "--app", APP,
+                       "--protocol", "Base", "--no-seq"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "accepted: 1 cell(s), 1 unique" in out
+        assert f"{APP}/Base" in out and "computed" in out
+        rc = cli_main(["submit", "--serve", handle.url, "--stats"])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["counters"]["computed"] == 1
+
+
+def test_cli_figure_through_daemon_matches_local(capsys, tmp_path):
+    apps = ["Water-spatial"]
+    import repro.experiments.figures as figures
+    from repro.experiments import ExperimentCache
+    local = figures.render_figure2(figures.compute_figure2(
+        ExperimentCache(), apps=apps))
+    with DaemonThread(workers="thread", jobs=1,
+                      store=ResultStore(tmp_path)) as handle:
+        served = figures.render_figure2(figures.compute_figure2(
+            ExperimentCache(executor=RemoteExecutor(handle.url)),
+            apps=apps))
+    assert served == local
+
+
+def test_cli_submit_unreachable_daemon_fails_cleanly(capsys):
+    rc = cli_main(["submit", "--serve", "http://127.0.0.1:1",
+                   "--app", APP, "--no-seq"])
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
